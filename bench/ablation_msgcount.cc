@@ -1,0 +1,61 @@
+// Ablation A2: message complexity per commit, measured. Section 3.3/3.4:
+// 2PC and 3PC exchange O(n) messages per transaction while EC exchanges
+// O(n^2) (every cohort forwards the decision to all n-1 peers). This bench
+// counts actual messages per protocol as the participant count grows and
+// fits the growth.
+
+#include <cstdio>
+
+#include "commit/testbed.h"
+
+int main() {
+  using namespace ecdb;
+  using ecdb::testbed::ProtocolTestbed;
+
+  std::printf("=========================================================\n");
+  std::printf("Ablation A2 — messages per committed transaction vs n\n");
+  std::printf("=========================================================\n\n");
+
+  const CommitProtocol protocols[] = {CommitProtocol::kTwoPhase,
+                                      CommitProtocol::kThreePhase,
+                                      CommitProtocol::kEasyCommit,
+                                      CommitProtocol::kEasyCommitNoForward};
+  NetworkConfig net;
+  net.base_latency_us = 100;
+  net.jitter_us = 0;
+
+  std::printf("%-8s", "n");
+  for (CommitProtocol p : protocols) std::printf("%14s", ToString(p).c_str());
+  std::printf("\n");
+
+  uint64_t last_ec = 0, last_2pc = 0;
+  uint64_t prev_ec = 0, prev_2pc = 0;
+  for (uint32_t n : {2u, 4u, 8u, 16u, 32u}) {
+    std::printf("%-8u", n);
+    for (CommitProtocol protocol : protocols) {
+      ProtocolTestbed bed(protocol, n, net);
+      bed.StartAll();
+      bed.Settle(1'000'000);
+      const uint64_t msgs = bed.network().stats().messages_sent;
+      std::printf("%14llu", static_cast<unsigned long long>(msgs));
+      if (protocol == CommitProtocol::kEasyCommit) {
+        prev_ec = last_ec;
+        last_ec = msgs;
+      }
+      if (protocol == CommitProtocol::kTwoPhase) {
+        prev_2pc = last_2pc;
+        last_2pc = msgs;
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Doubling n should ~2x the 2PC count and ~4x the EC count at scale.
+  const double growth_2pc =
+      static_cast<double>(last_2pc) / static_cast<double>(prev_2pc);
+  const double growth_ec =
+      static_cast<double>(last_ec) / static_cast<double>(prev_ec);
+  std::printf("\ngrowth when n doubles (16 -> 32): 2PC x%.2f (O(n) ~ 2), "
+              "EC x%.2f (O(n^2) ~ 4)\n", growth_2pc, growth_ec);
+  return 0;
+}

@@ -1,0 +1,102 @@
+#ifndef ECDB_BENCH_BENCH_COMMON_H_
+#define ECDB_BENCH_BENCH_COMMON_H_
+
+// Shared driver for the figure-reproduction benchmarks: build a simulated
+// cluster, warm it up, measure a window, and print one table row. Every
+// bench binary regenerates one exhibit from the paper's Section 6; the
+// absolute numbers come from a simulator (see DESIGN.md), the *shapes* are
+// the reproduction target.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/sim_cluster.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace ecdb {
+namespace bench {
+
+/// Measurement windows (simulated seconds). The paper uses 60 s + 60 s of
+/// wall-clock; the simulator's determinism makes much shorter windows
+/// stable.
+inline constexpr double kWarmupSeconds = 0.25;
+inline constexpr double kMeasureSeconds = 0.5;
+
+/// One measured configuration.
+struct RunResult {
+  double throughput = 0;    // committed txns per simulated second
+  uint64_t p99_us = 0;      // 99th percentile latency
+  double abort_rate = 0;    // aborted attempts per commit
+  ClusterStats stats;
+  NetworkStats net;
+};
+
+inline RunResult RunCluster(const ClusterConfig& config,
+                            std::unique_ptr<Workload> workload,
+                            double warmup = kWarmupSeconds,
+                            double measure = kMeasureSeconds) {
+  SimCluster cluster(config, std::move(workload));
+  cluster.Start();
+  cluster.RunFor(warmup);
+  cluster.network().ResetStats();
+  cluster.BeginMeasurement();
+  cluster.RunFor(measure);
+  RunResult result;
+  result.stats = cluster.CollectStats(measure);
+  result.throughput = result.stats.Throughput();
+  result.p99_us = result.stats.total.latency.Percentile(0.99);
+  result.abort_rate = result.stats.AbortRate();
+  result.net = cluster.network().stats();
+  return result;
+}
+
+/// Default YCSB setup used by the Section 6 experiments: the paper's 16M
+/// rows/partition are scaled down (contention depends on skew, not table
+/// bytes); everything else matches (10 ops/txn, 2 partitions/txn, 1:1
+/// read/write mix unless the experiment sweeps it).
+inline YcsbConfig DefaultYcsb(uint32_t num_nodes) {
+  YcsbConfig cfg;
+  cfg.num_partitions = num_nodes;
+  cfg.rows_per_partition = 131072;
+  cfg.ops_per_txn = 10;
+  cfg.partitions_per_txn = 2;
+  cfg.write_fraction = 0.5;
+  cfg.theta = 0.6;
+  return cfg;
+}
+
+inline TpccConfig DefaultTpcc(uint32_t num_nodes) {
+  TpccConfig cfg;
+  cfg.num_partitions = num_nodes;
+  cfg.warehouses_per_partition = 4;
+  return cfg;
+}
+
+inline ClusterConfig DefaultCluster(uint32_t num_nodes,
+                                    CommitProtocol protocol) {
+  ClusterConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.clients_per_node = 32;
+  cfg.protocol = protocol;
+  cfg.seed = 20180326;  // EDBT'18 :-)
+  return cfg;
+}
+
+inline const CommitProtocol kProtocols[] = {CommitProtocol::kTwoPhase,
+                                            CommitProtocol::kThreePhase,
+                                            CommitProtocol::kEasyCommit};
+
+inline void PrintBanner(const char* exhibit, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", exhibit, description);
+  std::printf("(simulated cluster; compare shapes with the paper, not\n");
+  std::printf(" absolute numbers — see DESIGN.md / EXPERIMENTS.md)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace ecdb
+
+#endif  // ECDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Extension E-PAPC: the classic presumed-abort / presumed-commit 2PC
+// optimizations as additional baselines. They trim acknowledgments and
+// log writes (PA on the abort side, PC on the commit side) but — unlike
+// EasyCommit — remain blocking. This bench counts messages and log writes
+// per transaction on commit and abort paths, then measures end-to-end
+// throughput against 2PC and EC.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "commit/testbed.h"
+
+namespace {
+
+using namespace ecdb;
+using ecdb::testbed::ProtocolTestbed;
+
+struct PathCost {
+  uint64_t messages = 0;
+  uint64_t log_writes = 0;
+};
+
+PathCost MeasurePath(CommitProtocol protocol, uint32_t n, bool commit) {
+  NetworkConfig net;
+  net.base_latency_us = 100;
+  net.jitter_us = 0;
+  ProtocolTestbed bed(protocol, n, net);
+  if (!commit) bed.host(n - 1).set_vote(Decision::kAbort);
+  const TxnId txn = bed.StartAll();
+  bed.Settle();
+  PathCost cost;
+  cost.messages = bed.network().stats().messages_sent;
+  for (NodeId id = 0; id < n; ++id) {
+    cost.log_writes += bed.host(id).LogTypes(txn).size();
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ecdb::bench;
+
+  std::printf("=========================================================\n");
+  std::printf("Extension: presumed-abort / presumed-commit baselines\n");
+  std::printf("=========================================================\n\n");
+
+  const CommitProtocol protocols[] = {
+      CommitProtocol::kTwoPhase, CommitProtocol::kTwoPhasePresumedAbort,
+      CommitProtocol::kTwoPhasePresumedCommit, CommitProtocol::kEasyCommit};
+
+  std::printf("Per-transaction cost at n=4 participants:\n");
+  std::printf("%-10s%14s%14s%14s%14s\n", "protocol", "msgs(commit)",
+              "logs(commit)", "msgs(abort)", "logs(abort)");
+  for (CommitProtocol protocol : protocols) {
+    const PathCost commit = MeasurePath(protocol, 4, true);
+    const PathCost abort = MeasurePath(protocol, 4, false);
+    std::printf("%-10s%14llu%14llu%14llu%14llu\n",
+                ToString(protocol).c_str(),
+                static_cast<unsigned long long>(commit.messages),
+                static_cast<unsigned long long>(commit.log_writes),
+                static_cast<unsigned long long>(abort.messages),
+                static_cast<unsigned long long>(abort.log_writes));
+  }
+
+  std::printf("\nEnd-to-end YCSB throughput (16 nodes, theta 0.6):\n");
+  std::printf("%-10s%16s%14s\n", "protocol", "tput (k txns/s)", "blocked");
+  for (CommitProtocol protocol : protocols) {
+    ClusterConfig cluster = DefaultCluster(16, protocol);
+    const RunResult r =
+        RunCluster(cluster, std::make_unique<YcsbWorkload>(DefaultYcsb(16)));
+    std::printf("%-10s%16.1f%14llu\n", ToString(protocol).c_str(),
+                r.throughput / 1000.0,
+                static_cast<unsigned long long>(r.stats.total.txns_blocked));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nTakeaway: PC matches EC's message count on the commit path\n"
+              "but stays blocking; EC is the only two-phase protocol here\n"
+              "that is non-blocking.\n");
+  return 0;
+}

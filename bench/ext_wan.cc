@@ -1,0 +1,77 @@
+// Extension E-WAN: the geo-scale setting that motivates the paper's
+// introduction. Commit-protocol phases multiply WAN round trips, so the
+// 3PC penalty — one extra phase on every update transaction — explodes as
+// the one-way latency grows from LAN (0.4 ms) to cross-region WAN
+// (25-100 ms). EC keeps 2PC's two phases, so it tracks 2PC at every
+// latency, which is precisely the argument for a non-blocking *two-phase*
+// protocol in geo-distributed databases.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Extension: geo-scale (WAN) latencies",
+              "YCSB throughput & p99 vs one-way network latency, 8 nodes");
+
+  std::printf("%-14s", "one-way");
+  for (CommitProtocol p : kProtocols) std::printf("%10s", ToString(p).c_str());
+  std::printf(" | ");
+  for (CommitProtocol p : kProtocols) std::printf("%10s", ToString(p).c_str());
+  std::printf("\n%-14s%30s | %30s\n", "latency", "throughput (k txns/s)",
+              "p99 latency (ms)");
+
+  const struct {
+    Micros latency_us;
+    const char* label;
+  } latencies[] = {
+      {400, "0.4ms LAN"},
+      {5'000, "5ms metro"},
+      {25'000, "25ms region"},
+      {100'000, "100ms geo"},
+  };
+
+  for (const auto& wan : latencies) {
+    std::printf("%-14s", wan.label);
+    double tput[3];
+    uint64_t p99[3];
+    int i = 0;
+    for (CommitProtocol protocol : kProtocols) {
+      ClusterConfig cluster = DefaultCluster(8, protocol);
+      cluster.network.base_latency_us = wan.latency_us;
+      cluster.network.jitter_us = wan.latency_us / 4;
+      // Timeouts must stay above the round trips at every latency.
+      cluster.commit.timeout_us = wan.latency_us * 20 + 10'000;
+      cluster.commit.termination_window_us = wan.latency_us * 8 + 5'000;
+      cluster.exec_timeout_us = wan.latency_us * 40 + 50'000;
+      cluster.backoff_base_us = 500 + wan.latency_us / 4;
+      YcsbConfig ycsb = DefaultYcsb(8);
+      ycsb.theta = 0.5;
+      // Longer windows so even 100ms-latency transactions complete many
+      // times within the measurement.
+      const double warmup = 0.5 + wan.latency_us / 1e5;
+      const double measure = 1.0 + 4.0 * wan.latency_us / 1e5;
+      const RunResult r = RunCluster(
+          cluster, std::make_unique<YcsbWorkload>(ycsb), warmup, measure);
+      tput[i] = r.throughput / 1000.0;
+      p99[i] = r.p99_us;
+      i++;
+    }
+    for (int j = 0; j < 3; ++j) std::printf("%10.1f", tput[j]);
+    std::printf(" | ");
+    for (int j = 0; j < 3; ++j) {
+      std::printf("%10.1f", static_cast<double>(p99[j]) / 1000.0);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nExpected: the 2PC/EC advantage over 3PC widens toward the\n"
+              "phase-count ratio as network latency dominates; EC == 2PC\n"
+              "in phases, so geo-scale deployments get non-blocking commit\n"
+              "without paying 3PC's WAN round trip.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Figure 9: YCSB throughput vs. Zipfian skew (theta) for 2PC,
+// 3PC and EasyCommit. 16 server nodes, 2 partitions per transaction.
+//
+// Paper shape: for theta <= 0.6, EC and 2PC sit close together and clearly
+// above 3PC; at high skew (>= 0.7) contention dominates and the three
+// protocols converge at a much lower throughput.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Figure 9", "YCSB throughput vs skew factor (theta), "
+                          "16 nodes, 2 partitions/txn");
+
+  const double thetas[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  std::printf("%-7s", "theta");
+  for (CommitProtocol p : kProtocols) {
+    std::printf("%12s", ToString(p).c_str());
+  }
+  std::printf("   (thousand txns/s)\n");
+
+  for (double theta : thetas) {
+    std::printf("%-7.1f", theta);
+    for (CommitProtocol protocol : kProtocols) {
+      ClusterConfig cluster = DefaultCluster(16, protocol);
+      YcsbConfig ycsb = DefaultYcsb(16);
+      ycsb.theta = theta;
+      const RunResult r =
+          RunCluster(cluster, std::make_unique<YcsbWorkload>(ycsb));
+      std::printf("%12.1f", r.throughput / 1000.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Figure 10: YCSB throughput vs. partitions per transaction
+// (2, 4, 6) for 2PC, 3PC and EasyCommit. 16 nodes, theta = 0.6, 16
+// operations per transaction, 1:1 read/write ratio.
+//
+// Paper shape: throughput drops steeply from 2 to 4 partitions (~55%) and
+// further (~25%) from 4 to 6, for all protocols; message count grows
+// linearly for 2PC/3PC and quadratically for EC, so EC's gap to 2PC widens
+// with the partition count.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Figure 10", "YCSB throughput vs partitions per transaction, "
+                           "16 nodes, theta 0.6, 16 ops/txn");
+
+  std::printf("%-12s", "parts/txn");
+  for (CommitProtocol p : kProtocols) {
+    std::printf("%12s", ToString(p).c_str());
+  }
+  std::printf("   (thousand txns/s)\n");
+
+  for (uint32_t parts : {2u, 4u, 6u}) {
+    std::printf("%-12u", parts);
+    for (CommitProtocol protocol : kProtocols) {
+      ClusterConfig cluster = DefaultCluster(16, protocol);
+      YcsbConfig ycsb = DefaultYcsb(16);
+      ycsb.ops_per_txn = 16;
+      ycsb.partitions_per_txn = parts;
+      const RunResult r =
+          RunCluster(cluster, std::make_unique<YcsbWorkload>(ycsb));
+      std::printf("%12.1f", r.throughput / 1000.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 11 (a, b, c): YCSB throughput and 99-percentile
+// latency vs. server count (2..32) at low (theta 0.1), medium (0.6) and
+// high (0.7) contention; 2 partitions per transaction.
+//
+// Paper shape: throughput grows with node count for every protocol, with
+// EC ~= 2PC (EC marginally lower at low/medium contention) and both above
+// 3PC; latency grows with node count and is highest for 3PC (extra round).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Figure 11", "YCSB throughput and p99 latency vs server "
+                           "count, theta in {0.1, 0.6, 0.7}");
+
+  const struct {
+    double theta;
+    const char* label;
+  } contentions[] = {
+      {0.1, "(a) low contention, theta=0.1"},
+      {0.6, "(b) medium contention, theta=0.6"},
+      {0.7, "(c) high contention, theta=0.7"},
+  };
+
+  for (const auto& contention : contentions) {
+    std::printf("\n%s\n", contention.label);
+    std::printf("%-8s", "nodes");
+    for (CommitProtocol p : kProtocols) {
+      std::printf("%10s", ToString(p).c_str());
+    }
+    std::printf(" | ");
+    for (CommitProtocol p : kProtocols) {
+      std::printf("%10s", ToString(p).c_str());
+    }
+    std::printf("\n%-8s%30s | %30s\n", "", "throughput (k txns/s)",
+                "p99 latency (ms)");
+
+    for (uint32_t nodes : {2u, 4u, 8u, 16u, 32u}) {
+      std::printf("%-8u", nodes);
+      double tput[3];
+      uint64_t p99[3];
+      int i = 0;
+      for (CommitProtocol protocol : kProtocols) {
+        ClusterConfig cluster = DefaultCluster(nodes, protocol);
+        YcsbConfig ycsb = DefaultYcsb(nodes);
+        ycsb.theta = contention.theta;
+        const RunResult r =
+            RunCluster(cluster, std::make_unique<YcsbWorkload>(ycsb));
+        tput[i] = r.throughput / 1000.0;
+        p99[i] = r.p99_us;
+        i++;
+      }
+      for (int j = 0; j < 3; ++j) std::printf("%10.1f", tput[j]);
+      std::printf(" | ");
+      for (int j = 0; j < 3; ++j) {
+        std::printf("%10.1f", static_cast<double>(p99[j]) / 1000.0);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

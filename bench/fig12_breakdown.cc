@@ -1,0 +1,46 @@
+// Reproduces Figure 12: where worker time goes (Useful Work, Txn Manager,
+// Index, Abort, Idle, Commit, Overhead) as contention varies, for each
+// commit protocol. 16 nodes, 2 partitions per transaction.
+//
+// Paper shape: the Abort share grows with theta; at medium/high contention
+// 3PC workers are idle the most and do the least useful work (the extra
+// phase keeps resources busy waiting); the Commit share grows with
+// contention for every protocol.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Figure 12", "time breakdown per component vs contention, "
+                           "16 nodes");
+
+  const double thetas[] = {0.1, 0.5, 0.6, 0.7, 0.8};
+
+  for (CommitProtocol protocol : kProtocols) {
+    std::printf("\n--- %s ---\n", ToString(protocol).c_str());
+    std::printf("%-7s", "theta");
+    for (size_t c = 0; c < kNumTimeCategories; ++c) {
+      std::printf("%13s", ToString(static_cast<TimeCategory>(c)).c_str());
+    }
+    std::printf("\n");
+    for (double theta : thetas) {
+      ClusterConfig cluster = DefaultCluster(16, protocol);
+      YcsbConfig ycsb = DefaultYcsb(16);
+      ycsb.theta = theta;
+      const RunResult r =
+          RunCluster(cluster, std::make_unique<YcsbWorkload>(ycsb));
+      std::printf("%-7.1f", theta);
+      for (size_t c = 0; c < kNumTimeCategories; ++c) {
+        std::printf("%12.1f%%",
+                    100.0 * r.stats.TimeFraction(static_cast<TimeCategory>(c)));
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

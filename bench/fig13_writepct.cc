@@ -1,0 +1,40 @@
+// Reproduces Section 6.5 (Figure 13): YCSB throughput vs. transaction
+// write percentage (10%..90%); theta 0.6, 16 nodes, 2 partitions/txn.
+//
+// Paper shape: at 10% writes all protocols converge (most transactions
+// skip or barely exercise the commit protocol); as the write percentage
+// grows, 3PC falls away while EC tracks 2PC with a marginal gap (EC holds
+// locks slightly longer while waiting for forwarded decisions).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Figure 13 / Section 6.5",
+              "YCSB throughput vs write percentage, 16 nodes, theta 0.6");
+
+  std::printf("%-9s", "write%%");
+  for (CommitProtocol p : kProtocols) {
+    std::printf("%12s", ToString(p).c_str());
+  }
+  std::printf("   (thousand txns/s)\n");
+
+  for (int pct : {10, 30, 50, 70, 90}) {
+    std::printf("%-9d", pct);
+    for (CommitProtocol protocol : kProtocols) {
+      ClusterConfig cluster = DefaultCluster(16, protocol);
+      YcsbConfig ycsb = DefaultYcsb(16);
+      ycsb.write_fraction = pct / 100.0;
+      const RunResult r =
+          RunCluster(cluster, std::make_unique<YcsbWorkload>(ycsb));
+      std::printf("%12.1f", r.throughput / 1000.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

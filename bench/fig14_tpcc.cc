@@ -1,0 +1,37 @@
+// Reproduces Figure 14 / Section 6.6: TPC-C (Payment + NewOrder)
+// throughput vs. server count.
+//
+// Paper shape: TPC-C is dominated by single-partition transactions (only
+// ~15% of Payments and ~10% of NewOrders cross partitions), so the gaps
+// between commit protocols are much smaller than under YCSB; throughput
+// scales with the node count for all three.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Figure 14", "TPC-C throughput vs server count");
+
+  std::printf("%-8s", "nodes");
+  for (CommitProtocol p : kProtocols) {
+    std::printf("%12s", ToString(p).c_str());
+  }
+  std::printf("   (thousand txns/s)\n");
+
+  for (uint32_t nodes : {2u, 4u, 8u, 16u, 32u}) {
+    std::printf("%-8u", nodes);
+    for (CommitProtocol protocol : kProtocols) {
+      ClusterConfig cluster = DefaultCluster(nodes, protocol);
+      const RunResult r = RunCluster(
+          cluster, std::make_unique<TpccWorkload>(DefaultTpcc(nodes)));
+      std::printf("%12.1f", r.throughput / 1000.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Section 6.7 (the TPC-C latency companion of Figure 14; the
+// source text of the paper truncates mid-section, so this bench reports
+// the natural latency counterpart): TPC-C 99-percentile latency vs.
+// server count.
+//
+// Expected shape: latencies are far lower than YCSB's (mostly local
+// transactions), 3PC pays the extra round on the multi-partition tail,
+// and EC tracks 2PC closely.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ecdb;
+  using namespace ecdb::bench;
+
+  PrintBanner("Section 6.7", "TPC-C p99 latency vs server count");
+
+  std::printf("%-8s", "nodes");
+  for (CommitProtocol p : kProtocols) {
+    std::printf("%12s", ToString(p).c_str());
+  }
+  std::printf("   (p99 latency, ms)\n");
+
+  for (uint32_t nodes : {2u, 4u, 8u, 16u, 32u}) {
+    std::printf("%-8u", nodes);
+    for (CommitProtocol protocol : kProtocols) {
+      ClusterConfig cluster = DefaultCluster(nodes, protocol);
+      const RunResult r = RunCluster(
+          cluster, std::make_unique<TpccWorkload>(DefaultTpcc(nodes)));
+      std::printf("%12.2f", static_cast<double>(r.p99_us) / 1000.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark): raw cost of the protocol state
+// machines themselves — complete commit rounds per second per protocol
+// and the cost of individual subsystem operations that sit on the
+// transaction critical path.
+
+#include <benchmark/benchmark.h>
+
+#include "cc/lock_table.h"
+#include "commit/testbed.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/scheduler.h"
+#include "storage/table.h"
+#include "wal/wal.h"
+
+namespace {
+
+using namespace ecdb;
+using ecdb::testbed::ProtocolTestbed;
+
+void BM_CommitRound(benchmark::State& state, CommitProtocol protocol) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  NetworkConfig net;
+  net.base_latency_us = 1;
+  net.jitter_us = 0;
+  CommitEngineConfig commit;
+  ProtocolTestbed bed(protocol, n, net, commit);
+  for (auto _ : state) {
+    const TxnId txn = bed.StartAll();
+    bed.Settle();
+    benchmark::DoNotOptimize(bed.host(0).applied(txn));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TwoPhaseRound(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kTwoPhase);
+}
+void BM_ThreePhaseRound(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kThreePhase);
+}
+void BM_EasyCommitRound(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kEasyCommit);
+}
+BENCHMARK(BM_TwoPhaseRound)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_ThreePhaseRound)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_EasyCommitRound)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  Scheduler sched;
+  for (auto _ : state) {
+    sched.ScheduleAfter(1, [] {});
+    sched.RunOne();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  LockTable locks(CcPolicy::kNoWait);
+  TxnId txn = 1;
+  for (auto _ : state) {
+    for (Key key = 0; key < 10; ++key) {
+      benchmark::DoNotOptimize(
+          locks.Acquire(txn, txn, 0, key, LockMode::kExclusive));
+    }
+    locks.ReleaseAll(txn);
+    txn++;
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_TableLookup(benchmark::State& state) {
+  Table table(0, "t", 10);
+  for (Key key = 0; key < 100000; ++key) {
+    (void)table.Insert(key);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Get(rng.NextBounded(100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableLookup);
+
+void BM_WalAppend(benchmark::State& state) {
+  MemoryWal wal;
+  TxnId txn = 1;
+  for (auto _ : state) {
+    wal.Append({0, txn++, LogRecordType::kCommitReceived, {}});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianGenerator zipf(1'000'000, 0.6);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram hist;
+  Rng rng(1);
+  for (auto _ : state) {
+    hist.Record(rng.NextBounded(1'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

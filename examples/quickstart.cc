@@ -1,0 +1,67 @@
+// Quickstart: stand up a simulated 4-node shared-nothing cluster, run the
+// YCSB workload under each atomic-commitment protocol (2PC, 3PC,
+// EasyCommit) and compare throughput and latency.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "cluster/sim_cluster.h"
+#include "workload/ycsb.h"
+
+using namespace ecdb;
+
+int main() {
+  std::printf("ecdb quickstart: EasyCommit vs 2PC vs 3PC on YCSB\n\n");
+
+  for (CommitProtocol protocol :
+       {CommitProtocol::kTwoPhase, CommitProtocol::kThreePhase,
+        CommitProtocol::kEasyCommit}) {
+    // 1. Describe the cluster: 4 server nodes, 4 worker threads each,
+    //    closed-loop clients, a LAN-like network, and the chosen commit
+    //    protocol. Everything else keeps its defaults.
+    ClusterConfig cluster_config;
+    cluster_config.num_nodes = 4;
+    cluster_config.clients_per_node = 16;
+    cluster_config.protocol = protocol;
+
+    // 2. Describe the workload: YCSB with 10 operations per transaction,
+    //    half of them writes, spanning 2 of the 4 partitions, with a
+    //    moderately skewed (Zipfian theta = 0.6) access pattern.
+    YcsbConfig ycsb_config;
+    ycsb_config.num_partitions = cluster_config.num_nodes;
+    ycsb_config.rows_per_partition = 65536;
+    ycsb_config.theta = 0.6;
+
+    // 3. Run: warm up, then measure one simulated second.
+    SimCluster cluster(cluster_config,
+                       std::make_unique<YcsbWorkload>(ycsb_config));
+    cluster.Start();
+    cluster.RunFor(0.25);  // warmup (simulated seconds)
+    cluster.BeginMeasurement();
+    cluster.RunFor(1.0);
+    const ClusterStats stats = cluster.CollectStats(1.0);
+
+    // 4. Read the results.
+    std::printf("%-4s  throughput %8.0f txns/s   p99 latency %6.1f ms   "
+                "aborts/commit %.2f\n",
+                ToString(protocol).c_str(), stats.Throughput(),
+                stats.total.latency.Percentile(0.99) / 1000.0,
+                stats.AbortRate());
+
+    // The safety monitor watches every applied decision: no two nodes may
+    // ever disagree on a transaction's outcome.
+    if (!cluster.monitor().Violations().empty()) {
+      std::printf("  !! safety violation detected (this is a bug)\n");
+      return 1;
+    }
+  }
+
+  std::printf(
+      "\nExpected: EC ~= 2PC throughput, both well above 3PC; EC is the\n"
+      "only one of the three that is both two-phase and non-blocking.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Parameterized YCSB driver: explore the simulated cluster from the
+// command line and print the full metric readout, including the Figure-12
+// style time breakdown.
+//
+// Usage: ycsb_demo [protocol] [nodes] [theta] [write_pct] [parts_per_txn]
+//   protocol: 2pc | 3pc | ec | ec-noforward     (default ec)
+//   nodes:    cluster size                      (default 8)
+//   theta:    Zipfian skew 0.0..0.95            (default 0.6)
+//   write_pct: percent of operations that write (default 50)
+//   parts_per_txn: partitions per transaction   (default 2)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "cluster/sim_cluster.h"
+#include "workload/ycsb.h"
+
+using namespace ecdb;
+
+namespace {
+
+CommitProtocol ParseProtocol(const char* arg) {
+  if (std::strcmp(arg, "2pc") == 0) return CommitProtocol::kTwoPhase;
+  if (std::strcmp(arg, "3pc") == 0) return CommitProtocol::kThreePhase;
+  if (std::strcmp(arg, "ec") == 0) return CommitProtocol::kEasyCommit;
+  if (std::strcmp(arg, "ec-noforward") == 0) {
+    return CommitProtocol::kEasyCommitNoForward;
+  }
+  std::fprintf(stderr, "unknown protocol '%s' (want 2pc|3pc|ec|ec-noforward)\n",
+               arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterConfig cluster_config;
+  cluster_config.num_nodes = 8;
+  cluster_config.protocol = CommitProtocol::kEasyCommit;
+
+  YcsbConfig ycsb;
+  ycsb.rows_per_partition = 131072;
+  ycsb.theta = 0.6;
+
+  if (argc > 1) cluster_config.protocol = ParseProtocol(argv[1]);
+  if (argc > 2) cluster_config.num_nodes = std::atoi(argv[2]);
+  if (argc > 3) ycsb.theta = std::atof(argv[3]);
+  if (argc > 4) ycsb.write_fraction = std::atof(argv[4]) / 100.0;
+  if (argc > 5) ycsb.partitions_per_txn = std::atoi(argv[5]);
+  ycsb.num_partitions = cluster_config.num_nodes;
+
+  std::printf("YCSB on %u nodes, %s, theta %.2f, %.0f%% writes, "
+              "%u partitions/txn\n",
+              cluster_config.num_nodes,
+              ToString(cluster_config.protocol).c_str(), ycsb.theta,
+              ycsb.write_fraction * 100.0, ycsb.partitions_per_txn);
+
+  SimCluster cluster(cluster_config, std::make_unique<YcsbWorkload>(ycsb));
+  cluster.Start();
+  cluster.RunFor(0.25);
+  cluster.BeginMeasurement();
+  cluster.RunFor(1.0);
+  const ClusterStats stats = cluster.CollectStats(1.0);
+
+  std::printf("\n  throughput        %10.0f txns/s\n", stats.Throughput());
+  std::printf("  latency mean      %10.2f ms\n",
+              stats.total.latency.Mean() / 1000.0);
+  std::printf("  latency p50       %10.2f ms\n",
+              stats.total.latency.Percentile(0.5) / 1000.0);
+  std::printf("  latency p99       %10.2f ms\n",
+              stats.total.latency.Percentile(0.99) / 1000.0);
+  std::printf("  aborts per commit %10.3f\n", stats.AbortRate());
+  std::printf("  commit protocols  %10llu runs\n",
+              static_cast<unsigned long long>(
+                  stats.total.commit_protocol_runs));
+  std::printf("  blocked txns      %10llu\n",
+              static_cast<unsigned long long>(stats.total.txns_blocked));
+
+  std::printf("\n  time breakdown (Figure 12 categories):\n");
+  for (size_t c = 0; c < kNumTimeCategories; ++c) {
+    std::printf("    %-12s %6.1f%%\n",
+                ToString(static_cast<TimeCategory>(c)).c_str(),
+                100.0 * stats.TimeFraction(static_cast<TimeCategory>(c)));
+  }
+
+  std::printf("\n  network: %llu messages, %llu bytes\n",
+              static_cast<unsigned long long>(
+                  cluster.network().stats().messages_sent),
+              static_cast<unsigned long long>(
+                  cluster.network().stats().bytes_sent));
+  std::printf("  safety violations: %zu (must be 0 for 2pc/3pc/ec)\n",
+              cluster.monitor().Violations().size());
+  return 0;
+}

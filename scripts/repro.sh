@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: configure, build, run the full test suite
+# and regenerate every paper exhibit. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "############ $b"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

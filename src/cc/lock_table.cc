@@ -1,0 +1,151 @@
+#include "cc/lock_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ecdb {
+
+AcquireResult LockTable::Acquire(TxnId txn, uint64_t ts, TableId table,
+                                 Key key, LockMode mode,
+                                 GrantCallback on_grant) {
+  const LockId id{table, key};
+  Entry& entry = entries_[id];
+
+  // Already a holder?
+  for (Holder& holder : entry.holders) {
+    if (holder.txn != txn) continue;
+    if (holder.mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      return AcquireResult::kGranted;  // no-op re-acquire
+    }
+    // Shared -> exclusive upgrade: only valid as the sole holder.
+    if (entry.holders.size() == 1) {
+      holder.mode = LockMode::kExclusive;
+      return AcquireResult::kGranted;
+    }
+    // Upgrade conflicts with other shared holders; fall through to policy.
+    break;
+  }
+
+  const bool compatible = std::all_of(
+      entry.holders.begin(), entry.holders.end(), [&](const Holder& h) {
+        return h.txn == txn || Compatible(h.mode, mode);
+      });
+
+  // A compatible request still queues behind existing waiters (fairness;
+  // also prevents shared requests starving a queued exclusive).
+  if (compatible && entry.queue.empty()) {
+    entry.holders.push_back(Holder{txn, mode, ts});
+    held_by_txn_[txn].push_back(id);
+    return AcquireResult::kGranted;
+  }
+
+  if (policy_ == CcPolicy::kNoWait) {
+    conflict_aborts_++;
+    if (entries_[id].holders.empty() && entries_[id].queue.empty()) {
+      entries_.erase(id);
+    }
+    return AcquireResult::kAbort;
+  }
+
+  // WAIT_DIE: wait only if older (smaller ts) than every conflicting
+  // holder; otherwise die.
+  for (const Holder& holder : entry.holders) {
+    if (holder.txn == txn) continue;
+    if (!Compatible(holder.mode, mode) && ts >= holder.ts) {
+      conflict_aborts_++;
+      return AcquireResult::kAbort;
+    }
+  }
+  // FIFO queueing also makes us wait behind every queued waiter; a
+  // young->old wait edge there would break the deadlock-freedom argument,
+  // so the age test applies to the queue as well.
+  for (const Waiter& waiter : entry.queue) {
+    if (waiter.txn != txn && ts >= waiter.ts) {
+      conflict_aborts_++;
+      return AcquireResult::kAbort;
+    }
+  }
+  entry.queue.push_back(Waiter{txn, mode, ts, std::move(on_grant)});
+  return AcquireResult::kWaiting;
+}
+
+void LockTable::PromoteWaiters(const LockId& id, Entry& entry,
+                               std::vector<GrantCallback>& fired) {
+  while (!entry.queue.empty()) {
+    Waiter& head = entry.queue.front();
+    // The waiter's own holder entry (a queued shared->exclusive upgrade)
+    // never conflicts with its own request.
+    const bool compatible = std::all_of(
+        entry.holders.begin(), entry.holders.end(), [&](const Holder& h) {
+          return h.txn == head.txn || Compatible(h.mode, head.mode);
+        });
+    if (!compatible) break;
+    auto self = std::find_if(
+        entry.holders.begin(), entry.holders.end(),
+        [&](const Holder& h) { return h.txn == head.txn; });
+    if (self != entry.holders.end()) {
+      // Upgrade in place; the id is already in held_by_txn_.
+      if (head.mode == LockMode::kExclusive) {
+        self->mode = LockMode::kExclusive;
+      }
+    } else {
+      entry.holders.push_back(Holder{head.txn, head.mode, head.ts});
+      held_by_txn_[head.txn].push_back(id);
+    }
+    if (head.on_grant) fired.push_back(std::move(head.on_grant));
+    entry.queue.pop_front();
+  }
+}
+
+void LockTable::ReleaseAll(TxnId txn) {
+  std::vector<GrantCallback> fired;
+
+  auto held_it = held_by_txn_.find(txn);
+  if (held_it != held_by_txn_.end()) {
+    for (const LockId& id : held_it->second) {
+      auto entry_it = entries_.find(id);
+      if (entry_it == entries_.end()) continue;
+      Entry& entry = entry_it->second;
+      entry.holders.erase(
+          std::remove_if(entry.holders.begin(), entry.holders.end(),
+                         [&](const Holder& h) { return h.txn == txn; }),
+          entry.holders.end());
+      PromoteWaiters(id, entry, fired);
+      if (entry.holders.empty() && entry.queue.empty()) {
+        entries_.erase(entry_it);
+      }
+    }
+    held_by_txn_.erase(held_it);
+  }
+
+  // Remove any queued (still waiting) requests from this transaction, e.g.
+  // when a waiting transaction is aborted by the protocol.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    const size_t before = entry.queue.size();
+    entry.queue.erase(
+        std::remove_if(entry.queue.begin(), entry.queue.end(),
+                       [&](const Waiter& w) { return w.txn == txn; }),
+        entry.queue.end());
+    if (entry.queue.size() != before) {
+      PromoteWaiters(it->first, entry, fired);
+    }
+    if (entry.holders.empty() && entry.queue.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Fire grant callbacks after the table is consistent.
+  for (GrantCallback& cb : fired) cb();
+}
+
+size_t LockTable::HeldCount(TxnId txn) const {
+  auto it = held_by_txn_.find(txn);
+  return it == held_by_txn_.end() ? 0 : it->second.size();
+}
+
+}  // namespace ecdb

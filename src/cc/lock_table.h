@@ -1,0 +1,121 @@
+#ifndef ECDB_CC_LOCK_TABLE_H_
+#define ECDB_CC_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/operation.h"
+#include "common/types.h"
+
+namespace ecdb {
+
+/// Lock compatibility: shared for reads, exclusive for writes.
+enum class LockMode : uint8_t {
+  kShared,
+  kExclusive,
+};
+
+/// Outcome of a lock request.
+enum class AcquireResult : uint8_t {
+  kGranted,  // lock held; proceed
+  kWaiting,  // queued (WAIT_DIE only); on_grant fires later
+  kAbort,    // conflict; transaction must abort (NO_WAIT, or WAIT_DIE "die")
+};
+
+/// Deadlock-avoidance policy. The paper evaluates all protocols under
+/// NO_WAIT ("a transaction requesting access to a locked record is
+/// aborted"); WAIT_DIE is provided as an extension since ExpoDB supports
+/// multiple concurrency control algorithms.
+enum class CcPolicy : uint8_t {
+  kNoWait,
+  kWaitDie,
+};
+
+/// Per-partition record lock table. Tracks, for every locked (table, key),
+/// the current holders and (under WAIT_DIE) a FIFO wait queue. Not thread
+/// safe: access is serialized by the owning node, like the storage layer.
+///
+/// Both policies are deadlock-free by construction: NO_WAIT never waits and
+/// WAIT_DIE only lets older transactions wait for younger holders, so the
+/// waits-for graph cannot contain a cycle.
+class LockTable {
+ public:
+  using GrantCallback = std::function<void()>;
+
+  explicit LockTable(CcPolicy policy) : policy_(policy) {}
+
+  CcPolicy policy() const { return policy_; }
+
+  /// Requests `mode` on (table, key) for `txn` whose priority timestamp is
+  /// `ts` (smaller = older, only meaningful under WAIT_DIE). If the result
+  /// is kWaiting, `on_grant` is invoked when the lock is eventually granted
+  /// (possibly from inside another transaction's ReleaseAll).
+  ///
+  /// Re-acquiring a lock the transaction already holds is granted
+  /// immediately; a shared->exclusive upgrade succeeds only when the
+  /// transaction is the sole holder, and otherwise follows the policy.
+  AcquireResult Acquire(TxnId txn, uint64_t ts, TableId table, Key key,
+                        LockMode mode, GrantCallback on_grant = nullptr);
+
+  /// Releases every lock held or awaited by `txn`, granting queued
+  /// compatible requests. Grant callbacks run inside this call.
+  void ReleaseAll(TxnId txn);
+
+  /// Number of locks currently held by `txn`.
+  size_t HeldCount(TxnId txn) const;
+
+  /// Number of (table, key) entries with at least one holder or waiter.
+  size_t ActiveEntries() const { return entries_.size(); }
+
+  /// Total times Acquire returned kAbort; feeds the abort-rate statistics.
+  uint64_t conflict_aborts() const { return conflict_aborts_; }
+
+ private:
+  struct LockId {
+    TableId table;
+    Key key;
+    bool operator==(const LockId&) const = default;
+  };
+  struct LockIdHash {
+    size_t operator()(const LockId& id) const {
+      uint64_t h = id.key * 0x9E3779B97f4A7C15ULL;
+      h ^= static_cast<uint64_t>(id.table) << 17;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+    uint64_t ts;
+  };
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    uint64_t ts;
+    GrantCallback on_grant;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<Waiter> queue;
+  };
+
+  static bool Compatible(LockMode held, LockMode requested) {
+    return held == LockMode::kShared && requested == LockMode::kShared;
+  }
+
+  /// Grants queue heads that are now compatible with the holders.
+  void PromoteWaiters(const LockId& id, Entry& entry,
+                      std::vector<GrantCallback>& fired);
+
+  CcPolicy policy_;
+  std::unordered_map<LockId, Entry, LockIdHash> entries_;
+  std::unordered_map<TxnId, std::vector<LockId>> held_by_txn_;
+  uint64_t conflict_aborts_ = 0;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_CC_LOCK_TABLE_H_

@@ -1,0 +1,66 @@
+#include "cluster/sim_cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ecdb {
+
+SimCluster::SimCluster(const ClusterConfig& config,
+                       std::unique_ptr<Workload> workload)
+    : config_(config), workload_(std::move(workload)) {
+  Rng root(config_.seed);
+  network_ = std::make_unique<SimNetwork>(&scheduler_, config_.network,
+                                          root.Next());
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId id = 0; id < config_.num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<SimNode>(id, config_, &scheduler_,
+                                               network_.get(),
+                                               workload_.get(), &monitor_,
+                                               root.Next()));
+  }
+}
+
+void SimCluster::Start() {
+  for (auto& node : nodes_) node->Bootstrap();
+  for (auto& node : nodes_) node->StartClients();
+}
+
+void SimCluster::RunFor(double seconds) {
+  const Micros until =
+      scheduler_.Now() + static_cast<Micros>(seconds * 1e6);
+  scheduler_.RunUntil(until);
+}
+
+size_t SimCluster::RunToQuiescence(size_t max_events) {
+  return scheduler_.RunAll(max_events);
+}
+
+void SimCluster::BeginMeasurement() {
+  measurement_start_us_ = scheduler_.Now();
+  for (auto& node : nodes_) node->BeginMeasurement();
+}
+
+ClusterStats SimCluster::CollectStats(double duration_seconds) const {
+  ClusterStats out;
+  out.duration_seconds = duration_seconds;
+  out.num_nodes = config_.num_nodes;
+  const uint64_t window_us = static_cast<uint64_t>(duration_seconds * 1e6);
+  for (const auto& node : nodes_) {
+    out.total.Merge(node->stats());
+    // Idle = worker capacity not attributed to any category this window.
+    const uint64_t busy =
+        node->total_busy_us() - node->busy_us_at_window_start();
+    const uint64_t capacity =
+        static_cast<uint64_t>(config_.workers_per_node) * window_us;
+    out.total.AddTime(TimeCategory::kIdle,
+                      capacity > busy ? capacity - busy : 0);
+  }
+  return out;
+}
+
+void SimCluster::CrashNode(NodeId id) { nodes_[id]->Crash(); }
+
+void SimCluster::RecoverNode(NodeId id) { nodes_[id]->Recover(); }
+
+}  // namespace ecdb

@@ -1,0 +1,76 @@
+#ifndef ECDB_CLUSTER_SIM_CLUSTER_H_
+#define ECDB_CLUSTER_SIM_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/sim_node.h"
+#include "commit/invariants.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "stats/metrics.h"
+#include "workload/workload.h"
+
+namespace ecdb {
+
+/// A complete simulated deployment: scheduler + network + N server nodes,
+/// each hosting one partition with its own clients (the paper's
+/// partition-per-server, client-per-server layout on Azure).
+///
+/// Typical benchmark use:
+///   SimCluster cluster(config, std::move(workload));
+///   cluster.Start();
+///   cluster.RunFor(warmup_seconds);
+///   cluster.BeginMeasurement();
+///   cluster.RunFor(measure_seconds);
+///   ClusterStats stats = cluster.CollectStats(measure_seconds);
+class SimCluster {
+ public:
+  SimCluster(const ClusterConfig& config, std::unique_ptr<Workload> workload);
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Bootstraps every node (loads partitions) and launches the clients.
+  void Start();
+
+  /// Advances simulated time by `seconds`.
+  void RunFor(double seconds);
+
+  /// Runs until the event queue drains or `max_events` fire. Used by
+  /// failure tests to reach quiescence.
+  size_t RunToQuiescence(size_t max_events = 10'000'000);
+
+  /// Opens a fresh measurement window on every node.
+  void BeginMeasurement();
+
+  /// Merges per-node stats for a window of `duration_seconds` (idle time
+  /// is derived from worker busy time vs. wall time).
+  ClusterStats CollectStats(double duration_seconds) const;
+
+  SimNode& node(NodeId id) { return *nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  Scheduler& scheduler() { return scheduler_; }
+  SimNetwork& network() { return *network_; }
+  SafetyMonitor& monitor() { return monitor_; }
+  Workload& workload() { return *workload_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Crashes / recovers a node (network + node state).
+  void CrashNode(NodeId id);
+  void RecoverNode(NodeId id);
+
+ private:
+  ClusterConfig config_;
+  Scheduler scheduler_;
+  std::unique_ptr<SimNetwork> network_;
+  std::unique_ptr<Workload> workload_;
+  SafetyMonitor monitor_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  Micros measurement_start_us_ = 0;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_CLUSTER_SIM_CLUSTER_H_

@@ -1,0 +1,658 @@
+#include "cluster/sim_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "commit/recovery.h"
+#include "common/logging.h"
+
+namespace ecdb {
+
+SimNode::SimNode(NodeId id, const ClusterConfig& config, Scheduler* scheduler,
+                 SimNetwork* network, Workload* workload,
+                 SafetyMonitor* monitor, uint64_t seed)
+    : id_(id),
+      config_(config),
+      scheduler_(scheduler),
+      network_(network),
+      workload_(workload),
+      monitor_(monitor),
+      rng_(seed),
+      store_(id),
+      partitioner_(config.num_nodes),
+      locks_(config.cc_policy),
+      txn_ids_(id) {
+  engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
+                                           config_.commit);
+  clients_.resize(config_.clients_per_node);
+}
+
+SimNode::~SimNode() = default;
+
+void SimNode::Bootstrap() {
+  workload_->LoadPartition(&store_, partitioner_);
+  network_->RegisterNode(id_, [this](const Message& msg) {
+    if (!crashed_) OnNetMessage(msg);
+  });
+}
+
+void SimNode::StartClients() {
+  for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+    StartNewClientTxn(slot);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Worker pool model
+// --------------------------------------------------------------------------
+
+void SimNode::EnqueueJob(CostVector cost, std::function<void()> fn) {
+  if (crashed_) return;
+  if (busy_workers_ < config_.workers_per_node) {
+    StartJob(cost, std::move(fn));
+  } else {
+    job_queue_.emplace_back(cost, std::move(fn));
+  }
+}
+
+void SimNode::StartJob(CostVector cost, std::function<void()> fn) {
+  busy_workers_++;
+  Micros total = 0;
+  for (Micros c : cost) total += c;
+  const uint64_t epoch = epoch_;
+  scheduler_->ScheduleAfter(
+      total, [this, cost, fn = std::move(fn), epoch]() {
+        if (crashed_ || epoch != epoch_) return;
+        FinishJob(cost, fn);
+      });
+}
+
+void SimNode::FinishJob(const CostVector& cost,
+                        const std::function<void()>& fn) {
+  Micros total = 0;
+  for (size_t i = 0; i < kNumTimeCategories; ++i) {
+    stats_.time_us[i] += cost[i];
+    total += cost[i];
+  }
+  total_busy_us_ += total;
+  fn();
+  busy_workers_--;
+  if (!job_queue_.empty() && busy_workers_ < config_.workers_per_node) {
+    auto [next_cost, next_fn] = std::move(job_queue_.front());
+    job_queue_.pop_front();
+    StartJob(next_cost, std::move(next_fn));
+  }
+}
+
+SimNode::CostVector SimNode::ExecCost(size_t num_ops) const {
+  CostVector v{};
+  v[static_cast<size_t>(TimeCategory::kUsefulWork)] =
+      config_.costs.useful_work_per_op_us * num_ops;
+  v[static_cast<size_t>(TimeCategory::kIndex)] =
+      config_.costs.index_per_op_us * num_ops;
+  return v;
+}
+
+// --------------------------------------------------------------------------
+// CommitEnv
+// --------------------------------------------------------------------------
+
+void SimNode::Send(Message msg) {
+  msg.src = id_;
+  network_->Send(std::move(msg));
+}
+
+void SimNode::Log(TxnId txn, LogRecordType type) {
+  LogRecord record;
+  record.txn = txn;
+  record.type = type;
+  if (type == LogRecordType::kBeginCommit || type == LogRecordType::kReady) {
+    if (auto it = attempts_.find(txn); it != attempts_.end()) {
+      record.participants = it->second.participants;
+    } else if (auto fit = fragments_.find(txn); fit != fragments_.end()) {
+      record.participants = fit->second.participants;
+    }
+  }
+  wal_.Append(std::move(record));
+}
+
+void SimNode::ArmTimer(TxnId txn, Micros delay_us) {
+  CancelTimer(txn);
+  const uint64_t epoch = epoch_;
+  timers_[txn] = scheduler_->ScheduleAfter(delay_us, [this, txn, epoch]() {
+    if (crashed_ || epoch != epoch_) return;
+    timers_.erase(txn);
+    engine_->OnTimeout(txn);
+  });
+}
+
+void SimNode::CancelTimer(TxnId txn) {
+  auto it = timers_.find(txn);
+  if (it == timers_.end()) return;
+  scheduler_->Cancel(it->second);
+  timers_.erase(it);
+}
+
+Decision SimNode::VoteFor(TxnId txn) {
+  if (vote_override_) return vote_override_(txn);
+  return fragments_.count(txn) > 0 ? Decision::kCommit : Decision::kAbort;
+}
+
+void SimNode::ApplyDecision(TxnId txn, Decision decision) {
+  if (monitor_ != nullptr) monitor_->RecordApplied(txn, id_, decision);
+
+  auto ait = attempts_.find(txn);
+  if (ait != attempts_.end()) {
+    // Coordinator side: this node's fragment plus client accounting.
+    AttemptState& attempt = ait->second;
+    if (decision == Decision::kAbort) {
+      UndoWrites(attempt.local_undo);
+      attempt.local_undo.clear();
+      stats_.txns_aborted++;
+      ScheduleRetry(attempt.slot);
+    } else {
+      FinishCommitted(txn);
+    }
+    if (config_.release_locks_at_decision) locks_.ReleaseAll(txn);
+    return;
+  }
+
+  auto fit = fragments_.find(txn);
+  if (fit != fragments_.end() && decision == Decision::kAbort) {
+    UndoWrites(fit->second.undo);
+    fit->second.undo.clear();
+  }
+  // Locks are normally released at cleanup time (Section 5.3:
+  // transactional resources are freed only once no further messages can
+  // arrive); the A3 ablation releases them here instead.
+  if (config_.release_locks_at_decision) locks_.ReleaseAll(txn);
+}
+
+void SimNode::OnBlocked(TxnId txn) {
+  (void)txn;
+  stats_.txns_blocked++;
+  if (monitor_ != nullptr) monitor_->RecordBlocked(txn, id_);
+}
+
+void SimNode::OnCleanup(TxnId txn) {
+  EnqueueJob(Cost(TimeCategory::kOverhead, config_.costs.overhead_us),
+             [this, txn]() {
+               locks_.ReleaseAll(txn);
+               attempts_.erase(txn);
+               fragments_.erase(txn);
+             });
+}
+
+// --------------------------------------------------------------------------
+// Message handling
+// --------------------------------------------------------------------------
+
+void SimNode::OnNetMessage(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kRemoteExec: {
+      CostVector cost = ExecCost(msg.ops.size());
+      cost[static_cast<size_t>(TimeCategory::kTxnManager)] +=
+          config_.costs.txn_manager_us;
+      EnqueueJob(cost, [this, msg]() { HandleRemoteExec(msg); });
+      return;
+    }
+    case MsgType::kRemoteExecOk:
+    case MsgType::kRemoteExecFail: {
+      const bool ok = msg.type == MsgType::kRemoteExecOk;
+      EnqueueJob(Cost(TimeCategory::kTxnManager, config_.costs.remote_reply_us),
+                 [this, msg, ok]() { HandleRemoteExecReply(msg, ok); });
+      return;
+    }
+    case MsgType::kRemoteRollback:
+      EnqueueJob(Cost(TimeCategory::kAbort, config_.costs.abort_cleanup_us),
+                 [this, msg]() { HandleRemoteRollback(msg); });
+      return;
+    default:
+      // Commit-protocol and termination messages.
+      EnqueueJob(Cost(TimeCategory::kCommit, config_.costs.commit_msg_us),
+                 [this, msg]() { engine_->OnMessage(msg); });
+      return;
+  }
+}
+
+void SimNode::HandleRemoteExec(const Message& msg) {
+  if (pending_rollbacks_.erase(msg.txn) > 0) {
+    return;  // the coordinator already aborted this attempt
+  }
+  auto ctx = std::make_shared<ExecContext>();
+  ctx->txn = msg.txn;
+  ctx->priority_ts = msg.priority_ts;
+  ctx->ops = msg.ops;
+  ctx->epoch = epoch_;
+  ctx->done = [this, msg](bool ok, std::vector<UndoRecord> undo) {
+    Message reply;
+    reply.txn = msg.txn;
+    reply.dst = msg.src;
+    if (ok) {
+      FragmentState frag;
+      frag.txn = msg.txn;
+      frag.coordinator = msg.src;
+      frag.participants = msg.participants;
+      frag.ops = msg.ops;
+      frag.undo = std::move(undo);
+      fragments_[msg.txn] = std::move(frag);
+      if (msg.txn_has_writes) {
+        engine_->ExpectPrepare(msg.txn, msg.src, msg.participants);
+      }
+      reply.type = MsgType::kRemoteExecOk;
+    } else {
+      reply.type = MsgType::kRemoteExecFail;
+    }
+    Send(std::move(reply));
+  };
+  ExecLoop(std::move(ctx));
+}
+
+void SimNode::HandleRemoteExecReply(const Message& msg, bool ok) {
+  auto it = attempts_.find(msg.txn);
+  if (it == attempts_.end() || it->second.aborting) {
+    // The attempt was aborted while this reply was in flight; the remote
+    // fragment (if it succeeded) must be rolled back.
+    if (ok) {
+      Message rollback;
+      rollback.type = MsgType::kRemoteRollback;
+      rollback.txn = msg.txn;
+      rollback.dst = msg.src;
+      Send(std::move(rollback));
+    }
+    return;
+  }
+  AttemptState& attempt = it->second;
+  attempt.pending_remote.erase(msg.src);
+  if (ok) {
+    attempt.ok_remote.insert(msg.src);
+    if (attempt.next_remote < attempt.remote_order.size()) {
+      SendNextFragment(msg.txn);  // sequential dispatch: next partition
+    } else if (attempt.pending_remote.empty()) {
+      AllFragmentsReady(msg.txn);
+    }
+  } else {
+    AbortAttempt(msg.txn, /*send_rollbacks=*/true);
+  }
+}
+
+void SimNode::HandleRemoteRollback(const Message& msg) {
+  auto it = fragments_.find(msg.txn);
+  if (it == fragments_.end()) {
+    // Rollback overtook the fragment execution (network reordering).
+    pending_rollbacks_.insert(msg.txn);
+    return;
+  }
+  UndoWrites(it->second.undo);
+  locks_.ReleaseAll(msg.txn);
+  fragments_.erase(it);
+  engine_->Forget(msg.txn);
+}
+
+// --------------------------------------------------------------------------
+// Coordinator paths
+// --------------------------------------------------------------------------
+
+void SimNode::StartNewClientTxn(uint32_t slot) {
+  ClientSlot& client = clients_[slot];
+  client.request = workload_->NextTxn(id_, rng_);
+  client.first_start_us = scheduler_->Now();
+  client.attempts = 0;
+  client.in_flight = true;
+  StartAttempt(slot);
+}
+
+void SimNode::StartAttempt(uint32_t slot) {
+  ClientSlot& client = clients_[slot];
+  client.attempts++;
+  const TxnId txn = txn_ids_.Next();
+
+  AttemptState attempt;
+  attempt.slot = slot;
+  attempt.has_writes = client.request.HasWrites();
+  for (const Operation& op : client.request.ops) {
+    const PartitionId part = partitioner_.PartitionOf(op.key);
+    if (part == id_) {
+      attempt.local_ops.push_back(op);
+    } else {
+      attempt.remote_ops[part].push_back(op);
+    }
+  }
+  attempt.participants.push_back(id_);
+  for (const auto& [node, ops] : attempt.remote_ops) {
+    attempt.participants.push_back(node);
+  }
+  std::sort(attempt.participants.begin() + 1, attempt.participants.end());
+
+  const size_t local_count = attempt.local_ops.size();
+  attempts_[txn] = std::move(attempt);
+
+  CostVector cost = ExecCost(local_count);
+  cost[static_cast<size_t>(TimeCategory::kTxnManager)] +=
+      config_.costs.txn_manager_us;
+  EnqueueJob(cost, [this, txn, slot]() {
+    auto it = attempts_.find(txn);
+    if (it == attempts_.end()) return;
+    auto ctx = std::make_shared<ExecContext>();
+    ctx->txn = txn;
+    ctx->priority_ts = next_priority_ts_++;
+    ctx->ops = it->second.local_ops;
+    ctx->epoch = epoch_;
+    ctx->done = [this, txn](bool ok, std::vector<UndoRecord> undo) {
+      LocalExecDone(txn, ok, std::move(undo));
+    };
+    (void)slot;
+    ExecLoop(std::move(ctx));
+  });
+}
+
+void SimNode::LocalExecDone(TxnId txn, bool ok,
+                            std::vector<UndoRecord> undo) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  attempt.local_undo = std::move(undo);
+  if (!ok) {
+    AbortAttempt(txn, /*send_rollbacks=*/false);
+    return;
+  }
+  attempt.local_ok = true;
+  if (attempt.remote_ops.empty()) {
+    // Single-partition transactions skip the commit protocol entirely
+    // (Section 5.2).
+    CompleteWithoutProtocol(txn);
+    return;
+  }
+  for (const auto& [node, ops] : attempt.remote_ops) {
+    attempt.remote_order.push_back(node);
+  }
+  std::sort(attempt.remote_order.begin(), attempt.remote_order.end());
+  next_priority_ts_++;
+  ArmExecTimer(txn);
+  SendNextFragment(txn);
+}
+
+void SimNode::SendNextFragment(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  const NodeId node = attempt.remote_order[attempt.next_remote++];
+  Message msg;
+  msg.type = MsgType::kRemoteExec;
+  msg.txn = txn;
+  msg.dst = node;
+  msg.ops = attempt.remote_ops[node];
+  msg.participants = attempt.participants;
+  msg.txn_has_writes = attempt.has_writes;
+  msg.priority_ts = next_priority_ts_ - 1;
+  Send(std::move(msg));
+  attempt.pending_remote.insert(node);
+}
+
+void SimNode::AllFragmentsReady(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  CancelExecTimer(attempt);
+  if (!attempt.has_writes) {
+    // Multi-partition read-only: no commit protocol (Section 5.2); tell
+    // remotes to release their read locks.
+    CompleteWithoutProtocol(txn);
+    return;
+  }
+  attempt.protocol_started = true;
+  stats_.commit_protocol_runs++;
+  engine_->StartCommit(txn, attempt.participants, Decision::kCommit);
+}
+
+void SimNode::CompleteWithoutProtocol(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  locks_.ReleaseAll(txn);
+  for (NodeId node : attempt.ok_remote) {
+    Message msg;
+    msg.type = MsgType::kRemoteRollback;  // release-only: no undo recorded
+    msg.txn = txn;
+    msg.dst = node;
+    Send(std::move(msg));
+  }
+  FinishCommitted(txn);
+  EnqueueJob(Cost(TimeCategory::kOverhead, config_.costs.overhead_us),
+             [this, txn]() { attempts_.erase(txn); });
+}
+
+void SimNode::FinishCommitted(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  ClientSlot& client = clients_[it->second.slot];
+  stats_.txns_committed++;
+  stats_.latency.Record(scheduler_->Now() - client.first_start_us);
+  client.in_flight = false;
+  // Closed loop: the client immediately submits its next transaction.
+  const uint32_t slot = it->second.slot;
+  StartNewClientTxn(slot);
+}
+
+void SimNode::AbortAttempt(TxnId txn, bool send_rollbacks) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  if (attempt.aborting || attempt.protocol_started) return;
+  attempt.aborting = true;
+  CancelExecTimer(attempt);
+  UndoWrites(attempt.local_undo);
+  locks_.ReleaseAll(txn);
+  if (send_rollbacks) {
+    std::unordered_set<NodeId> targets = attempt.ok_remote;
+    for (NodeId n : attempt.pending_remote) targets.insert(n);
+    for (NodeId node : targets) {
+      Message msg;
+      msg.type = MsgType::kRemoteRollback;
+      msg.txn = txn;
+      msg.dst = node;
+      Send(std::move(msg));
+    }
+  }
+  stats_.txns_aborted++;
+  const uint32_t slot = attempt.slot;
+  EnqueueJob(Cost(TimeCategory::kAbort, config_.costs.abort_cleanup_us),
+             [this, txn, slot]() {
+               attempts_.erase(txn);
+               ScheduleRetry(slot);
+             });
+}
+
+void SimNode::ScheduleRetry(uint32_t slot) {
+  const ClientSlot& client = clients_[slot];
+  const uint32_t shift =
+      std::min(client.attempts, config_.backoff_max_shift);
+  const Micros backoff = static_cast<Micros>(
+      rng_.NextDouble() * static_cast<double>(config_.backoff_base_us) *
+      static_cast<double>(1ULL << shift));
+  const uint64_t epoch = epoch_;
+  scheduler_->ScheduleAfter(backoff + 1, [this, slot, epoch]() {
+    if (crashed_ || epoch != epoch_) return;
+    StartAttempt(slot);
+  });
+}
+
+void SimNode::ArmExecTimer(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  const uint64_t epoch = epoch_;
+  it->second.exec_timer = scheduler_->ScheduleAfter(
+      config_.exec_timeout_us, [this, txn, epoch]() {
+        if (crashed_ || epoch != epoch_) return;
+        auto ait = attempts_.find(txn);
+        if (ait == attempts_.end()) return;
+        AttemptState& attempt = ait->second;
+        attempt.exec_timer = 0;
+        if (!attempt.protocol_started && !attempt.pending_remote.empty()) {
+          AbortAttempt(txn, /*send_rollbacks=*/true);
+        }
+      });
+}
+
+void SimNode::CancelExecTimer(AttemptState& attempt) {
+  if (attempt.exec_timer != 0) {
+    scheduler_->Cancel(attempt.exec_timer);
+    attempt.exec_timer = 0;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Execution engine
+// --------------------------------------------------------------------------
+
+void SimNode::ExecLoop(std::shared_ptr<ExecContext> ctx) {
+  while (ctx->idx < ctx->ops.size()) {
+    const Operation& op = ctx->ops[ctx->idx];
+    const LockMode mode =
+        op.is_write() ? LockMode::kExclusive : LockMode::kShared;
+    const AcquireResult result = locks_.Acquire(
+        ctx->txn, ctx->priority_ts, op.table, op.key, mode, [this, ctx]() {
+          // WAIT_DIE grant fired from another transaction's ReleaseAll.
+          if (crashed_ || ctx->epoch != epoch_) return;
+          ApplyOpAndContinue(ctx);
+        });
+    if (result == AcquireResult::kWaiting) return;  // resumed on grant
+    if (result == AcquireResult::kAbort) {
+      UndoWrites(ctx->undo);
+      locks_.ReleaseAll(ctx->txn);
+      ctx->done(false, {});
+      return;
+    }
+    if (!ApplyOp(op, &ctx->undo)) {
+      UndoWrites(ctx->undo);
+      locks_.ReleaseAll(ctx->txn);
+      ctx->done(false, {});
+      return;
+    }
+    ctx->idx++;
+  }
+  ctx->done(true, std::move(ctx->undo));
+}
+
+void SimNode::ApplyOpAndContinue(std::shared_ptr<ExecContext> ctx) {
+  if (!ApplyOp(ctx->ops[ctx->idx], &ctx->undo)) {
+    UndoWrites(ctx->undo);
+    locks_.ReleaseAll(ctx->txn);
+    ctx->done(false, {});
+    return;
+  }
+  ctx->idx++;
+  ExecLoop(std::move(ctx));
+}
+
+bool SimNode::ApplyOp(const Operation& op, std::vector<UndoRecord>* undo) {
+  Table* table = store_.GetTable(op.table);
+  if (table == nullptr) return false;
+  auto row = table->GetMutable(op.key);
+  if (!row.ok()) return false;
+  if (op.is_write()) {
+    UndoRecord rec;
+    rec.table = op.table;
+    rec.key = op.key;
+    rec.old_columns = row.value()->columns;
+    rec.old_version = row.value()->version;
+    undo->push_back(std::move(rec));
+    row.value()->columns[0]++;
+    row.value()->version++;
+  }
+  return true;
+}
+
+void SimNode::UndoWrites(const std::vector<UndoRecord>& undo) {
+  // Reverse order so repeated writes to a row restore the oldest image.
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    Table* table = store_.GetTable(it->table);
+    if (table == nullptr) continue;
+    auto row = table->GetMutable(it->key);
+    if (!row.ok()) continue;
+    row.value()->columns = it->old_columns;
+    row.value()->version = it->old_version;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fault injection and stats
+// --------------------------------------------------------------------------
+
+void SimNode::Crash() {
+  crashed_ = true;
+  epoch_++;  // invalidates every scheduled continuation of this node
+  network_->CrashNode(id_);
+  // Volatile state is lost; the WAL (stable storage) survives.
+  locks_ = LockTable(config_.cc_policy);
+  attempts_.clear();
+  fragments_.clear();
+  pending_rollbacks_.clear();
+  for (auto& [txn, task] : timers_) scheduler_->Cancel(task);
+  timers_.clear();
+  job_queue_.clear();
+  busy_workers_ = 0;
+  engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
+                                           config_.commit);
+  for (ClientSlot& client : clients_) client.in_flight = false;
+}
+
+void SimNode::Recover() {
+  ECDB_CHECK(crashed_);
+  crashed_ = false;
+  network_->RecoverNode(id_);
+
+  // Section 4.2 independent recovery over the WAL.
+  for (TxnId txn : RecoveryManager::InFlightTxns(wal_)) {
+    const auto last = wal_.LastFor(txn);
+    switch (RecoveryManager::AnalyzeRecord(last)) {
+      case RecoveryAction::kAbort:
+        wal_.Append({0, txn, LogRecordType::kTransactionAbort, {}});
+        if (monitor_ != nullptr) {
+          monitor_->RecordApplied(txn, id_, Decision::kAbort);
+        }
+        break;
+      case RecoveryAction::kCommit:
+        wal_.Append({0, txn, LogRecordType::kTransactionCommit, {}});
+        if (monitor_ != nullptr) {
+          monitor_->RecordApplied(txn, id_, Decision::kCommit);
+        }
+        break;
+      case RecoveryAction::kConsultPeers: {
+        // Re-enter the commit protocol in the logged state; the armed
+        // timeout triggers the termination protocol, which consults the
+        // participants recorded in the WAL.
+        const CohortState state = last->type == LogRecordType::kPreCommit
+                                      ? CohortState::kPreCommit
+                                      : CohortState::kReady;
+        std::vector<NodeId> participants = last->participants;
+        if (participants.empty()) {
+          for (const LogRecord& r : wal_.Scan()) {
+            if (r.txn == txn && !r.participants.empty()) {
+              participants = r.participants;
+              break;
+            }
+          }
+        }
+        engine_->ResumeAfterRecovery(txn, TxnCoordinator(txn),
+                                     std::move(participants), state);
+        break;
+      }
+    }
+  }
+}
+
+void SimNode::BeginMeasurement() {
+  stats_.Clear();
+  busy_at_window_start_ = total_busy_us_;
+}
+
+size_t SimNode::IdleClientCount() const {
+  size_t idle = 0;
+  for (const ClientSlot& client : clients_) {
+    if (!client.in_flight) idle++;
+  }
+  return idle;
+}
+
+}  // namespace ecdb

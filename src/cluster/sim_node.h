@@ -1,0 +1,221 @@
+#ifndef ECDB_CLUSTER_SIM_NODE_H_
+#define ECDB_CLUSTER_SIM_NODE_H_
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/lock_table.h"
+#include "cluster/config.h"
+#include "commit/commit_engine.h"
+#include "commit/commit_env.h"
+#include "commit/invariants.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "stats/metrics.h"
+#include "storage/table.h"
+#include "txn/transaction.h"
+#include "wal/wal.h"
+#include "workload/workload.h"
+
+namespace ecdb {
+
+/// One simulated server process: partition storage, lock table, WAL,
+/// commit-protocol engine, a pool of worker threads (modeled as capacity
+/// on the shared discrete-event scheduler), and the closed-loop clients
+/// attached to it.
+///
+/// The node is the CommitEnv for its CommitEngine: protocol messages flow
+/// through the simulated network, timers through the scheduler, log writes
+/// into the node's WAL, and decisions into the execution engine (release
+/// locks / undo writes / notify the client).
+class SimNode : public CommitEnv {
+ public:
+  SimNode(NodeId id, const ClusterConfig& config, Scheduler* scheduler,
+          SimNetwork* network, Workload* workload, SafetyMonitor* monitor,
+          uint64_t seed);
+  ~SimNode() override;
+
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  /// Loads this node's partition and registers with the network.
+  void Bootstrap();
+
+  /// Spawns the configured client connections (each immediately submits a
+  /// transaction).
+  void StartClients();
+
+  // --- CommitEnv ---
+  NodeId self() const override { return id_; }
+  void Send(Message msg) override;
+  void Log(TxnId txn, LogRecordType type) override;
+  void ArmTimer(TxnId txn, Micros delay_us) override;
+  void CancelTimer(TxnId txn) override;
+  Decision VoteFor(TxnId txn) override;
+  void ApplyDecision(TxnId txn, Decision decision) override;
+  void OnBlocked(TxnId txn) override;
+  void OnCleanup(TxnId txn) override;
+
+  // --- Fault injection ---
+
+  /// Fail-stop crash: volatile state (locks, fragments, in-flight jobs)
+  /// is lost; the WAL survives (stable storage).
+  void Crash();
+
+  /// Restart after a crash: re-registers with the network and runs the
+  /// Section 4.2 independent-recovery analysis over the WAL; transactions
+  /// it cannot resolve locally are handed to the termination protocol.
+  void Recover();
+
+  bool crashed() const { return crashed_; }
+
+  /// Overrides participant votes (fault-injection tests force aborts).
+  using VoteOverride = std::function<Decision(TxnId)>;
+  void set_vote_override(VoteOverride fn) { vote_override_ = std::move(fn); }
+
+  // --- Introspection ---
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+
+  /// Starts a fresh measurement window (clears the stats counters and
+  /// remembers the busy-time baseline used to derive idle time).
+  void BeginMeasurement();
+
+  /// Worker-busy microseconds accumulated since construction.
+  uint64_t total_busy_us() const { return total_busy_us_; }
+  uint64_t busy_us_at_window_start() const { return busy_at_window_start_; }
+
+  CommitEngine& engine() { return *engine_; }
+  PartitionStore& store() { return store_; }
+  MemoryWal& wal() { return wal_; }
+  LockTable& locks() { return locks_; }
+
+  /// Clients with no in-flight transaction (blocked clients are excluded).
+  size_t IdleClientCount() const;
+
+ private:
+  /// One closed-loop client connection.
+  struct ClientSlot {
+    TxnRequest request;
+    Micros first_start_us = 0;
+    uint32_t attempts = 0;
+    bool in_flight = false;
+  };
+
+  /// Coordinator-side state of one transaction attempt. Remote fragments
+  /// are dispatched *sequentially* (Deneva/ExpoDB execute a transaction
+  /// until it needs remote data, wait for that server's reply, then
+  /// continue), so execution latency grows with the partition count.
+  struct AttemptState {
+    uint32_t slot = 0;
+    std::vector<Operation> local_ops;
+    std::unordered_map<NodeId, std::vector<Operation>> remote_ops;
+    std::vector<NodeId> remote_order;  // dispatch order
+    size_t next_remote = 0;            // index into remote_order
+    std::vector<UndoRecord> local_undo;
+    std::unordered_set<NodeId> pending_remote;
+    std::unordered_set<NodeId> ok_remote;
+    std::vector<NodeId> participants;
+    bool has_writes = false;
+    bool local_ok = false;
+    bool aborting = false;
+    bool protocol_started = false;
+    Scheduler::TaskId exec_timer = 0;
+  };
+
+  /// Incremental fragment execution (supports WAIT_DIE suspension).
+  struct ExecContext {
+    TxnId txn;
+    uint64_t priority_ts;
+    std::vector<Operation> ops;
+    size_t idx = 0;
+    std::vector<UndoRecord> undo;
+    std::function<void(bool ok, std::vector<UndoRecord> undo)> done;
+    uint64_t epoch;  // guards against resuming across a crash
+  };
+
+  using CostVector = std::array<Micros, kNumTimeCategories>;
+
+  static CostVector Cost(TimeCategory c, Micros us) {
+    CostVector v{};
+    v[static_cast<size_t>(c)] = us;
+    return v;
+  }
+
+  // Worker pool model.
+  void EnqueueJob(CostVector cost, std::function<void()> fn);
+  void StartJob(CostVector cost, std::function<void()> fn);
+  void FinishJob(const CostVector& cost, const std::function<void()>& fn);
+
+  // Message handling.
+  void OnNetMessage(const Message& msg);
+  void HandleRemoteExec(const Message& msg);
+  void HandleRemoteExecReply(const Message& msg, bool ok);
+  void HandleRemoteRollback(const Message& msg);
+
+  // Coordinator paths.
+  void StartNewClientTxn(uint32_t slot);
+  void StartAttempt(uint32_t slot);
+  void LocalExecDone(TxnId txn, bool ok, std::vector<UndoRecord> undo);
+  void AllFragmentsReady(TxnId txn);
+  void SendNextFragment(TxnId txn);
+  void AbortAttempt(TxnId txn, bool send_rollbacks);
+  void CompleteWithoutProtocol(TxnId txn);
+  void FinishCommitted(TxnId txn);
+  void ScheduleRetry(uint32_t slot);
+  void ArmExecTimer(TxnId txn);
+  void CancelExecTimer(AttemptState& attempt);
+
+  // Execution engine.
+  void ExecLoop(std::shared_ptr<ExecContext> ctx);
+  void ApplyOpAndContinue(std::shared_ptr<ExecContext> ctx);
+  bool ApplyOp(const Operation& op, std::vector<UndoRecord>* undo);
+  void UndoWrites(const std::vector<UndoRecord>& undo);
+
+  CostVector ExecCost(size_t num_ops) const;
+
+  NodeId id_;
+  const ClusterConfig& config_;
+  Scheduler* scheduler_;
+  SimNetwork* network_;
+  Workload* workload_;
+  SafetyMonitor* monitor_;
+  Rng rng_;
+
+  PartitionStore store_;
+  KeyPartitioner partitioner_;
+  LockTable locks_;
+  MemoryWal wal_;
+  std::unique_ptr<CommitEngine> engine_;
+
+  std::vector<ClientSlot> clients_;
+  std::unordered_map<TxnId, AttemptState> attempts_;
+  std::unordered_map<TxnId, FragmentState> fragments_;
+  std::unordered_set<TxnId> pending_rollbacks_;  // rollback beat the exec
+  std::unordered_map<TxnId, Scheduler::TaskId> timers_;
+  TxnIdAllocator txn_ids_;
+  uint64_t next_priority_ts_ = 1;
+
+  // Worker pool.
+  uint32_t busy_workers_ = 0;
+  std::deque<std::pair<CostVector, std::function<void()>>> job_queue_;
+
+  bool crashed_ = false;
+  uint64_t epoch_ = 0;  // bumped on crash; stale continuations are dropped
+
+  NodeStats stats_;
+  uint64_t total_busy_us_ = 0;
+  uint64_t busy_at_window_start_ = 0;
+
+  VoteOverride vote_override_;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_CLUSTER_SIM_NODE_H_

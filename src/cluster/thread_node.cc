@@ -1,0 +1,598 @@
+#include "cluster/thread_node.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "commit/recovery.h"
+#include "common/logging.h"
+
+namespace ecdb {
+
+using namespace std::chrono_literals;
+
+ThreadNode::ThreadNode(NodeId id, const ThreadClusterConfig& config,
+                       ThreadNetwork* network, Workload* workload,
+                       SafetyMonitor* monitor, uint64_t seed)
+    : id_(id),
+      config_(config),
+      network_(network),
+      workload_(workload),
+      monitor_(monitor),
+      rng_(seed),
+      store_(id),
+      partitioner_(config.num_nodes),
+      locks_(config.cc_policy),
+      txn_ids_(id) {
+  if (config_.wal_dir.empty()) {
+    wal_ = std::make_unique<MemoryWal>();
+  } else {
+    auto wal = FileWal::Open(config_.wal_dir + "/node" + std::to_string(id) +
+                             ".wal");
+    ECDB_CHECK(wal.ok());
+    wal_ = std::move(wal).value();
+  }
+  engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
+                                           config_.commit);
+  clients_.resize(config_.clients_per_node);
+}
+
+ThreadNode::~ThreadNode() { Stop(); }
+
+void ThreadNode::Bootstrap() { workload_->LoadPartition(&store_, partitioner_); }
+
+void ThreadNode::Start() {
+  ECDB_CHECK(!running_.load());
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ThreadNode::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+Micros ThreadNode::NowUs() const {
+  return static_cast<Micros>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_start_)
+          .count());
+}
+
+void ThreadNode::Loop() {
+  epoch_start_ = std::chrono::steady_clock::now();
+  for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+    StartNewClientTxn(slot);
+  }
+  Message msg;
+  while (running_.load(std::memory_order_relaxed)) {
+    if (crash_requested_.exchange(false)) {
+      // Volatile state is lost (the WAL object survives: stable storage).
+      crashed_.store(true);
+      attempts_.clear();
+      fragments_.clear();
+      pending_rollbacks_.clear();
+      timers_.clear();
+      protocol_timers_.clear();
+      locks_ = LockTable(config_.cc_policy);
+      engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
+                                               config_.commit);
+      for (ClientSlot& client : clients_) client.idle = true;
+    }
+    if (recover_requested_.exchange(false)) {
+      crashed_.store(false);
+      // Section 4.2 independent recovery; consult-peers cases re-enter
+      // the protocol and resolve via the termination machinery.
+      for (TxnId txn : RecoveryManager::InFlightTxns(*wal_)) {
+        const auto last = wal_->LastFor(txn);
+        switch (RecoveryManager::AnalyzeRecord(last)) {
+          case RecoveryAction::kAbort:
+            wal_->Append({0, txn, LogRecordType::kTransactionAbort, {}});
+            if (monitor_ != nullptr) {
+              monitor_->RecordApplied(txn, id_, Decision::kAbort);
+            }
+            break;
+          case RecoveryAction::kCommit:
+            wal_->Append({0, txn, LogRecordType::kTransactionCommit, {}});
+            if (monitor_ != nullptr) {
+              monitor_->RecordApplied(txn, id_, Decision::kCommit);
+            }
+            break;
+          case RecoveryAction::kConsultPeers:
+            engine_->ResumeAfterRecovery(
+                txn, TxnCoordinator(txn), last->participants,
+                last->type == LogRecordType::kPreCommit
+                    ? CohortState::kPreCommit
+                    : CohortState::kReady);
+            break;
+        }
+      }
+      for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+        StartNewClientTxn(slot);
+      }
+    }
+
+    const bool got = network_->channel(id_).Pop(&msg, 1ms);
+    // Fail-stop takes effect the instant the network is cut, even if the
+    // crash request has not been drained yet: processing one more message
+    // (or applying a decision whose broadcast was just dropped) would
+    // violate the transmit-before-commit discipline.
+    if (crashed_.load(std::memory_order_relaxed) ||
+        network_->IsCrashed(id_)) {
+      continue;
+    }
+    if (got) HandleMessage(msg);
+    FireDueTimers();
+  }
+}
+
+void ThreadNode::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kRemoteExec:
+      HandleRemoteExec(msg);
+      return;
+    case MsgType::kRemoteExecOk:
+      HandleRemoteExecReply(msg, true);
+      return;
+    case MsgType::kRemoteExecFail:
+      HandleRemoteExecReply(msg, false);
+      return;
+    case MsgType::kRemoteRollback:
+      HandleRemoteRollback(msg);
+      return;
+    default:
+      engine_->OnMessage(msg);
+      return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Timers
+// --------------------------------------------------------------------------
+
+void ThreadNode::ScheduleTimer(Micros deadline, Timer timer) {
+  auto it = timers_.emplace(deadline, timer);
+  if (timer.kind == TimerKind::kProtocol) protocol_timers_[timer.txn] = it;
+}
+
+void ThreadNode::FireDueTimers() {
+  const Micros now = NowUs();
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    const Timer timer = timers_.begin()->second;
+    if (timer.kind == TimerKind::kProtocol) {
+      protocol_timers_.erase(timer.txn);
+    }
+    timers_.erase(timers_.begin());
+    switch (timer.kind) {
+      case TimerKind::kProtocol:
+        engine_->OnTimeout(timer.txn);
+        break;
+      case TimerKind::kExec: {
+        auto it = attempts_.find(timer.txn);
+        if (it != attempts_.end() && !it->second.protocol_started &&
+            it->second.pending_remote != kInvalidNode) {
+          AbortAttempt(timer.txn, /*send_rollbacks=*/true);
+        }
+        break;
+      }
+      case TimerKind::kRetry:
+        StartAttempt(timer.slot);
+        break;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// CommitEnv
+// --------------------------------------------------------------------------
+
+void ThreadNode::Send(Message msg) {
+  msg.src = id_;
+  network_->Send(std::move(msg));
+}
+
+void ThreadNode::Log(TxnId txn, LogRecordType type) {
+  LogRecord record;
+  record.txn = txn;
+  record.type = type;
+  if (type == LogRecordType::kBeginCommit || type == LogRecordType::kReady) {
+    if (auto it = attempts_.find(txn); it != attempts_.end()) {
+      record.participants = it->second.participants;
+    } else if (auto fit = fragments_.find(txn); fit != fragments_.end()) {
+      record.participants = fit->second.participants;
+    }
+  }
+  wal_->Append(std::move(record));
+}
+
+void ThreadNode::ArmTimer(TxnId txn, Micros delay_us) {
+  CancelTimer(txn);
+  ScheduleTimer(NowUs() + delay_us,
+                Timer{TimerKind::kProtocol, txn, /*slot=*/0});
+}
+
+void ThreadNode::CancelTimer(TxnId txn) {
+  auto it = protocol_timers_.find(txn);
+  if (it == protocol_timers_.end()) return;
+  timers_.erase(it->second);
+  protocol_timers_.erase(it);
+}
+
+Decision ThreadNode::VoteFor(TxnId txn) {
+  return fragments_.count(txn) > 0 ? Decision::kCommit : Decision::kAbort;
+}
+
+void ThreadNode::ApplyDecision(TxnId txn, Decision decision) {
+  // A node whose network was cut mid-event is already (conceptually)
+  // crashed; its local commit/abort never happened.
+  if (network_->IsCrashed(id_)) return;
+  if (monitor_ != nullptr) monitor_->RecordApplied(txn, id_, decision);
+
+  auto ait = attempts_.find(txn);
+  if (ait != attempts_.end()) {
+    AttemptState& attempt = ait->second;
+    if (decision == Decision::kAbort) {
+      UndoWrites(attempt.local_undo);
+      attempt.local_undo.clear();
+      stats_.txns_aborted++;
+      if (quiesce_.load(std::memory_order_relaxed)) {
+        clients_[attempt.slot].idle = true;
+      } else {
+        const uint32_t shift = std::min(clients_[attempt.slot].attempts,
+                                        config_.backoff_max_shift);
+        const Micros backoff = static_cast<Micros>(
+            rng_.NextDouble() * static_cast<double>(config_.backoff_base_us) *
+            static_cast<double>(1ULL << shift));
+        ScheduleTimer(NowUs() + backoff,
+                      Timer{TimerKind::kRetry, kInvalidTxn, attempt.slot});
+      }
+    } else {
+      FinishCommitted(txn);
+    }
+    return;
+  }
+  auto fit = fragments_.find(txn);
+  if (fit != fragments_.end() && decision == Decision::kAbort) {
+    UndoWrites(fit->second.undo);
+    fit->second.undo.clear();
+  }
+}
+
+void ThreadNode::OnBlocked(TxnId txn) {
+  (void)txn;
+  stats_.txns_blocked++;
+  if (monitor_ != nullptr) monitor_->RecordBlocked(txn, id_);
+}
+
+void ThreadNode::OnCleanup(TxnId txn) {
+  locks_.ReleaseAll(txn);
+  attempts_.erase(txn);
+  fragments_.erase(txn);
+}
+
+// --------------------------------------------------------------------------
+// Coordinator paths
+// --------------------------------------------------------------------------
+
+void ThreadNode::StartNewClientTxn(uint32_t slot) {
+  ClientSlot& client = clients_[slot];
+  client.request = workload_->NextTxn(id_, rng_);
+  client.first_start_us = NowUs();
+  client.attempts = 0;
+  client.idle = false;
+  StartAttempt(slot);
+}
+
+void ThreadNode::StartAttempt(uint32_t slot) {
+  ClientSlot& client = clients_[slot];
+  client.attempts++;
+  const TxnId txn = txn_ids_.Next();
+
+  AttemptState attempt;
+  attempt.slot = slot;
+  attempt.has_writes = client.request.HasWrites();
+  for (const Operation& op : client.request.ops) {
+    const PartitionId part = partitioner_.PartitionOf(op.key);
+    if (part == id_) {
+      attempt.local_ops.push_back(op);
+    } else {
+      attempt.remote_ops[part].push_back(op);
+    }
+  }
+  attempt.participants.push_back(id_);
+  for (const auto& [node, ops] : attempt.remote_ops) {
+    attempt.participants.push_back(node);
+    attempt.remote_order.push_back(node);
+  }
+  std::sort(attempt.participants.begin() + 1, attempt.participants.end());
+  std::sort(attempt.remote_order.begin(), attempt.remote_order.end());
+
+  auto [it, inserted] = attempts_.emplace(txn, std::move(attempt));
+  AttemptState& a = it->second;
+  (void)inserted;
+
+  const uint64_t ts = next_priority_ts_++;
+  if (!ExecuteOps(txn, ts, a.local_ops, &a.local_undo)) {
+    AbortAttempt(txn, /*send_rollbacks=*/false);
+    return;
+  }
+  if (a.remote_ops.empty()) {
+    CompleteWithoutProtocol(txn);
+    return;
+  }
+  ScheduleTimer(NowUs() + config_.commit.timeout_us * 4,
+                Timer{TimerKind::kExec, txn, slot});
+  SendNextFragment(txn);
+}
+
+void ThreadNode::SendNextFragment(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  const NodeId node = attempt.remote_order[attempt.next_remote++];
+  attempt.pending_remote = node;
+  Message msg;
+  msg.type = MsgType::kRemoteExec;
+  msg.txn = txn;
+  msg.dst = node;
+  msg.ops = attempt.remote_ops[node];
+  msg.participants = attempt.participants;
+  msg.txn_has_writes = attempt.has_writes;
+  msg.priority_ts = next_priority_ts_;
+  Send(std::move(msg));
+}
+
+void ThreadNode::HandleRemoteExec(const Message& msg) {
+  if (pending_rollbacks_.erase(msg.txn) > 0) return;
+  std::vector<UndoRecord> undo;
+  Message reply;
+  reply.txn = msg.txn;
+  reply.dst = msg.src;
+  if (ExecuteOps(msg.txn, msg.priority_ts, msg.ops, &undo)) {
+    FragmentState frag;
+    frag.txn = msg.txn;
+    frag.coordinator = msg.src;
+    frag.participants = msg.participants;
+    frag.ops = msg.ops;
+    frag.undo = std::move(undo);
+    fragments_[msg.txn] = std::move(frag);
+    if (msg.txn_has_writes) {
+      engine_->ExpectPrepare(msg.txn, msg.src, msg.participants);
+    }
+    reply.type = MsgType::kRemoteExecOk;
+  } else {
+    reply.type = MsgType::kRemoteExecFail;
+  }
+  Send(std::move(reply));
+}
+
+void ThreadNode::HandleRemoteExecReply(const Message& msg, bool ok) {
+  auto it = attempts_.find(msg.txn);
+  if (it == attempts_.end() || it->second.aborting) {
+    if (ok) {
+      Message rollback;
+      rollback.type = MsgType::kRemoteRollback;
+      rollback.txn = msg.txn;
+      rollback.dst = msg.src;
+      Send(std::move(rollback));
+    }
+    return;
+  }
+  AttemptState& attempt = it->second;
+  if (attempt.pending_remote == msg.src) attempt.pending_remote = kInvalidNode;
+  if (ok) {
+    attempt.ok_remote.insert(msg.src);
+    if (attempt.next_remote < attempt.remote_order.size()) {
+      SendNextFragment(msg.txn);
+    } else {
+      AllFragmentsReady(msg.txn);
+    }
+  } else {
+    AbortAttempt(msg.txn, /*send_rollbacks=*/true);
+  }
+}
+
+void ThreadNode::HandleRemoteRollback(const Message& msg) {
+  auto it = fragments_.find(msg.txn);
+  if (it == fragments_.end()) {
+    pending_rollbacks_.insert(msg.txn);
+    return;
+  }
+  UndoWrites(it->second.undo);
+  locks_.ReleaseAll(msg.txn);
+  fragments_.erase(it);
+  engine_->Forget(msg.txn);
+}
+
+void ThreadNode::AllFragmentsReady(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  if (!attempt.has_writes) {
+    CompleteWithoutProtocol(txn);
+    return;
+  }
+  attempt.protocol_started = true;
+  stats_.commit_protocol_runs++;
+  engine_->StartCommit(txn, attempt.participants, Decision::kCommit);
+}
+
+void ThreadNode::AbortAttempt(TxnId txn, bool send_rollbacks) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  AttemptState& attempt = it->second;
+  if (attempt.aborting || attempt.protocol_started) return;
+  attempt.aborting = true;
+  UndoWrites(attempt.local_undo);
+  locks_.ReleaseAll(txn);
+  if (send_rollbacks) {
+    std::unordered_set<NodeId> targets = attempt.ok_remote;
+    if (attempt.pending_remote != kInvalidNode) {
+      targets.insert(attempt.pending_remote);
+    }
+    for (NodeId node : targets) {
+      Message msg;
+      msg.type = MsgType::kRemoteRollback;
+      msg.txn = txn;
+      msg.dst = node;
+      Send(std::move(msg));
+    }
+  }
+  stats_.txns_aborted++;
+  const uint32_t slot = attempt.slot;
+  attempts_.erase(it);
+  if (quiesce_.load(std::memory_order_relaxed)) {
+    clients_[slot].idle = true;
+    return;
+  }
+  const uint32_t shift = std::min(clients_[slot].attempts,
+                                  config_.backoff_max_shift);
+  const Micros backoff = static_cast<Micros>(
+      rng_.NextDouble() * static_cast<double>(config_.backoff_base_us) *
+      static_cast<double>(1ULL << shift));
+  ScheduleTimer(NowUs() + backoff, Timer{TimerKind::kRetry, kInvalidTxn, slot});
+}
+
+void ThreadNode::CompleteWithoutProtocol(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  locks_.ReleaseAll(txn);
+  for (NodeId node : it->second.ok_remote) {
+    Message msg;
+    msg.type = MsgType::kRemoteRollback;  // read-lock release
+    msg.txn = txn;
+    msg.dst = node;
+    Send(std::move(msg));
+  }
+  FinishCommitted(txn);
+  attempts_.erase(txn);
+}
+
+void ThreadNode::FinishCommitted(TxnId txn) {
+  auto it = attempts_.find(txn);
+  if (it == attempts_.end()) return;
+  ClientSlot& client = clients_[it->second.slot];
+  stats_.txns_committed++;
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  stats_.latency.Record(NowUs() - client.first_start_us);
+  client.idle = true;
+  if (!quiesce_.load(std::memory_order_relaxed)) {
+    StartNewClientTxn(it->second.slot);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Execution
+// --------------------------------------------------------------------------
+
+bool ThreadNode::ExecuteOps(TxnId txn, uint64_t ts,
+                            const std::vector<Operation>& ops,
+                            std::vector<UndoRecord>* undo) {
+  for (const Operation& op : ops) {
+    const LockMode mode =
+        op.is_write() ? LockMode::kExclusive : LockMode::kShared;
+    const AcquireResult result =
+        locks_.Acquire(txn, ts, op.table, op.key, mode);
+    // This runtime keeps the node loop non-blocking, so a WAIT_DIE wait is
+    // treated as a conflict abort (the retry path re-runs the attempt).
+    if (result != AcquireResult::kGranted || !ApplyOp(op, undo)) {
+      UndoWrites(*undo);
+      undo->clear();
+      locks_.ReleaseAll(txn);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ThreadNode::ApplyOp(const Operation& op, std::vector<UndoRecord>* undo) {
+  Table* table = store_.GetTable(op.table);
+  if (table == nullptr) return false;
+  auto row = table->GetMutable(op.key);
+  if (!row.ok()) return false;
+  if (op.is_write()) {
+    UndoRecord rec;
+    rec.table = op.table;
+    rec.key = op.key;
+    rec.old_columns = row.value()->columns;
+    rec.old_version = row.value()->version;
+    undo->push_back(std::move(rec));
+    row.value()->columns[0]++;
+    row.value()->version++;
+  }
+  return true;
+}
+
+void ThreadNode::UndoWrites(const std::vector<UndoRecord>& undo) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    Table* table = store_.GetTable(it->table);
+    if (table == nullptr) continue;
+    auto row = table->GetMutable(it->key);
+    if (!row.ok()) continue;
+    row.value()->columns = it->old_columns;
+    row.value()->version = it->old_version;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fault injection
+// --------------------------------------------------------------------------
+
+void ThreadNode::Crash() {
+  network_->CrashNode(id_);
+  crash_requested_.store(true);
+}
+
+void ThreadNode::Recover() {
+  network_->RecoverNode(id_);
+  recover_requested_.store(true);
+}
+
+// --------------------------------------------------------------------------
+// ThreadCluster
+// --------------------------------------------------------------------------
+
+ThreadCluster::ThreadCluster(const ThreadClusterConfig& config,
+                             std::unique_ptr<Workload> workload)
+    : config_(config), workload_(std::move(workload)) {
+  network_ = std::make_unique<ThreadNetwork>(config_.num_nodes);
+  Rng root(config_.seed);
+  for (NodeId id = 0; id < config_.num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<ThreadNode>(
+        id, config_, network_.get(), workload_.get(), &monitor_,
+        root.Next()));
+  }
+}
+
+ThreadCluster::~ThreadCluster() { Stop(); }
+
+void ThreadCluster::Start() {
+  ECDB_CHECK(!started_);
+  started_ = true;
+  for (auto& node : nodes_) node->Bootstrap();
+  for (auto& node : nodes_) node->Start();
+}
+
+void ThreadCluster::RunFor(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void ThreadCluster::Quiesce(double drain_seconds) {
+  for (auto& node : nodes_) node->Quiesce();
+  RunFor(drain_seconds);
+}
+
+void ThreadCluster::Stop() {
+  if (!started_) return;
+  for (auto& node : nodes_) node->Stop();
+  network_->Shutdown();
+  started_ = false;
+}
+
+uint64_t ThreadCluster::TotalCommitted() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->committed();
+  return total;
+}
+
+}  // namespace ecdb

@@ -1,0 +1,233 @@
+#ifndef ECDB_CLUSTER_THREAD_NODE_H_
+#define ECDB_CLUSTER_THREAD_NODE_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/lock_table.h"
+#include "cluster/config.h"
+#include "commit/commit_engine.h"
+#include "commit/commit_env.h"
+#include "commit/invariants.h"
+#include "common/rng.h"
+#include "net/channel.h"
+#include "stats/metrics.h"
+#include "storage/table.h"
+#include "txn/transaction.h"
+#include "wal/wal.h"
+#include "workload/workload.h"
+
+namespace ecdb {
+
+/// Configuration of the threaded (real OS threads, wall-clock time)
+/// runtime. Protocol timeouts are inherited from CommitEngineConfig but
+/// interpreted as real microseconds.
+struct ThreadClusterConfig {
+  uint32_t num_nodes = 4;
+  uint32_t clients_per_node = 4;
+  CommitProtocol protocol = CommitProtocol::kEasyCommit;
+  CcPolicy cc_policy = CcPolicy::kNoWait;
+  CommitEngineConfig commit{.timeout_us = 50'000,
+                            .termination_window_us = 20'000,
+                            .keep_decision_ledger = true};
+  Micros backoff_base_us = 200;
+  uint32_t backoff_max_shift = 6;
+  uint64_t seed = 42;
+
+  /// Optional directory for file-backed WALs (one per node). Empty keeps
+  /// the logs in memory.
+  std::string wal_dir;
+};
+
+/// One server node of the threaded runtime: a single OS thread owns all
+/// node state (storage, locks, engine, clients) and drains its mailbox;
+/// cross-node communication goes through ThreadNetwork channels. The same
+/// CommitEngine used by the simulator runs here against wall-clock timers,
+/// demonstrating that the protocol implementation is runtime-agnostic.
+class ThreadNode : public CommitEnv {
+ public:
+  ThreadNode(NodeId id, const ThreadClusterConfig& config,
+             ThreadNetwork* network, Workload* workload,
+             SafetyMonitor* monitor, uint64_t seed);
+  ~ThreadNode() override;
+
+  ThreadNode(const ThreadNode&) = delete;
+  ThreadNode& operator=(const ThreadNode&) = delete;
+
+  /// Loads the partition (call before Start).
+  void Bootstrap();
+
+  /// Spawns the node thread and its clients.
+  void Start();
+
+  /// Signals the loop to finish and joins the thread.
+  void Stop();
+
+  // --- CommitEnv (called only from the node thread) ---
+  NodeId self() const override { return id_; }
+  void Send(Message msg) override;
+  void Log(TxnId txn, LogRecordType type) override;
+  void ArmTimer(TxnId txn, Micros delay_us) override;
+  void CancelTimer(TxnId txn) override;
+  Decision VoteFor(TxnId txn) override;
+  void ApplyDecision(TxnId txn, Decision decision) override;
+  void OnBlocked(TxnId txn) override;
+  void OnCleanup(TxnId txn) override;
+
+  /// Stops issuing new client transactions; in-flight ones run to
+  /// completion and aborted ones are not retried. After a short drain the
+  /// database is quiescent, which makes exact whole-database audits
+  /// possible (see examples/bank_transfer.cc).
+  void Quiesce() { quiesce_.store(true, std::memory_order_relaxed); }
+
+  /// Crash (fail-stop): the thread keeps running but drops all input and
+  /// clears volatile state. Recover() re-enables processing and runs the
+  /// WAL recovery analysis.
+  void Crash();
+  void Recover();
+
+  // --- Introspection (safe after Stop, or approximate while running) ---
+  const NodeStats& stats() const { return stats_; }
+  uint64_t committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  WriteAheadLog& wal() { return *wal_; }
+  PartitionStore& store() { return store_; }
+  CommitEngine& engine() { return *engine_; }
+
+ private:
+  struct ClientSlot {
+    TxnRequest request;
+    Micros first_start_us = 0;
+    uint32_t attempts = 0;
+    bool idle = true;
+  };
+  struct AttemptState {
+    uint32_t slot = 0;
+    std::vector<Operation> local_ops;
+    std::unordered_map<NodeId, std::vector<Operation>> remote_ops;
+    std::vector<NodeId> remote_order;
+    size_t next_remote = 0;
+    std::vector<UndoRecord> local_undo;
+    std::unordered_set<NodeId> ok_remote;
+    NodeId pending_remote = kInvalidNode;
+    std::vector<NodeId> participants;
+    bool has_writes = false;
+    bool protocol_started = false;
+    bool aborting = false;
+  };
+  enum class TimerKind : uint8_t { kProtocol, kExec, kRetry };
+  struct Timer {
+    TimerKind kind;
+    TxnId txn = kInvalidTxn;
+    uint32_t slot = 0;
+  };
+
+  void Loop();
+  Micros NowUs() const;
+  void HandleMessage(const Message& msg);
+  void FireDueTimers();
+  void ScheduleTimer(Micros deadline, Timer timer);
+
+  // Coordinator paths (mirrors SimNode, synchronous execution).
+  void StartNewClientTxn(uint32_t slot);
+  void StartAttempt(uint32_t slot);
+  void SendNextFragment(TxnId txn);
+  void HandleRemoteExec(const Message& msg);
+  void HandleRemoteExecReply(const Message& msg, bool ok);
+  void HandleRemoteRollback(const Message& msg);
+  void AllFragmentsReady(TxnId txn);
+  void AbortAttempt(TxnId txn, bool send_rollbacks);
+  void CompleteWithoutProtocol(TxnId txn);
+  void FinishCommitted(TxnId txn);
+
+  // Execution (synchronous; NO_WAIT aborts immediately, WAIT_DIE waits
+  // are treated as aborts in this runtime to keep the loop non-blocking).
+  bool ExecuteOps(TxnId txn, uint64_t ts, const std::vector<Operation>& ops,
+                  std::vector<UndoRecord>* undo);
+  bool ApplyOp(const Operation& op, std::vector<UndoRecord>* undo);
+  void UndoWrites(const std::vector<UndoRecord>& undo);
+
+  NodeId id_;
+  const ThreadClusterConfig& config_;
+  ThreadNetwork* network_;
+  Workload* workload_;
+  SafetyMonitor* monitor_;
+  Rng rng_;
+
+  PartitionStore store_;
+  KeyPartitioner partitioner_;
+  LockTable locks_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<CommitEngine> engine_;
+
+  std::vector<ClientSlot> clients_;
+  std::unordered_map<TxnId, AttemptState> attempts_;
+  std::unordered_map<TxnId, FragmentState> fragments_;
+  std::unordered_set<TxnId> pending_rollbacks_;
+  TxnIdAllocator txn_ids_;
+  uint64_t next_priority_ts_ = 1;
+
+  // Timer wheel, owned by the node thread.
+  std::multimap<Micros, Timer> timers_;
+  std::unordered_map<TxnId, std::multimap<Micros, Timer>::iterator>
+      protocol_timers_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> crash_requested_{false};
+  std::atomic<bool> recover_requested_{false};
+  std::atomic<bool> quiesce_{false};
+
+  NodeStats stats_;
+  std::atomic<uint64_t> committed_{0};
+  std::chrono::steady_clock::time_point epoch_start_;
+};
+
+/// The threaded deployment: N ThreadNodes over a ThreadNetwork.
+class ThreadCluster {
+ public:
+  ThreadCluster(const ThreadClusterConfig& config,
+                std::unique_ptr<Workload> workload);
+  ~ThreadCluster();
+
+  /// Bootstraps and starts every node thread.
+  void Start();
+
+  /// Lets the cluster run for `seconds` of wall-clock time.
+  void RunFor(double seconds);
+
+  /// Stops all nodes and joins threads.
+  void Stop();
+
+  /// Quiesces every node and waits for in-flight transactions to drain.
+  void Quiesce(double drain_seconds = 0.5);
+
+  ThreadNode& node(NodeId id) { return *nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  ThreadNetwork& network() { return *network_; }
+  SafetyMonitor& monitor() { return monitor_; }
+
+  /// Total committed transactions across nodes (live, approximate).
+  uint64_t TotalCommitted() const;
+
+ private:
+  ThreadClusterConfig config_;
+  std::unique_ptr<ThreadNetwork> network_;
+  std::unique_ptr<Workload> workload_;
+  SafetyMonitor monitor_;  // guarded by monitor_mu_ inside nodes
+  std::vector<std::unique_ptr<ThreadNode>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_CLUSTER_THREAD_NODE_H_

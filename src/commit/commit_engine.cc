@@ -1,0 +1,682 @@
+#include "commit/commit_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ecdb {
+
+CommitEngine::CommitEngine(CommitProtocol protocol, CommitEnv* env,
+                           CommitEngineConfig config)
+    : protocol_(protocol), env_(env), config_(config) {}
+
+CommitEngine::TxnRecord* CommitEngine::Find(TxnId txn) {
+  auto it = records_.find(txn);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> CommitEngine::Cohorts(const TxnRecord& rec) const {
+  std::vector<NodeId> cohorts;
+  for (NodeId p : rec.participants) {
+    if (p != env_->self()) cohorts.push_back(p);
+  }
+  return cohorts;
+}
+
+void CommitEngine::SendTo(NodeId dst, TxnId txn, MsgType type,
+                          const TxnRecord& rec, bool forwarded) {
+  Message msg;
+  msg.type = type;
+  msg.src = env_->self();
+  msg.dst = dst;
+  msg.txn = txn;
+  msg.participants = rec.participants;
+  msg.forwarded = forwarded;
+  env_->Send(std::move(msg));
+}
+
+void CommitEngine::BroadcastDecision(TxnId txn, TxnRecord& rec,
+                                     bool forwarded) {
+  const MsgType type = rec.decision == Decision::kCommit
+                           ? MsgType::kGlobalCommit
+                           : MsgType::kGlobalAbort;
+  if (!rec.participants.empty()) {
+    for (NodeId p : rec.participants) {
+      if (p != env_->self()) SendTo(p, txn, type, rec, forwarded);
+    }
+    return;
+  }
+  // Degenerate case: this node never learned the participant list (no
+  // Prepare arrived). Tell whoever we know about: the coordinator and any
+  // node that answered our termination query.
+  std::unordered_set<NodeId> targets;
+  if (rec.coordinator != kInvalidNode && rec.coordinator != env_->self()) {
+    targets.insert(rec.coordinator);
+  }
+  for (const auto& [node, reply] : rec.term_replies) targets.insert(node);
+  for (NodeId t : targets) SendTo(t, txn, type, rec, forwarded);
+}
+
+// --------------------------------------------------------------------------
+// Coordinator side
+// --------------------------------------------------------------------------
+
+void CommitEngine::StartCommit(TxnId txn, std::vector<NodeId> participants,
+                               Decision own_vote) {
+  ECDB_CHECK(!participants.empty() && participants[0] == env_->self());
+  TxnRecord& rec = records_[txn];
+  rec.is_coordinator = true;
+  rec.coordinator = env_->self();
+  rec.participants = std::move(participants);
+  rec.own_vote = own_vote;
+  rec.state = CohortState::kWait;
+
+  if (protocol_ != CommitProtocol::kTwoPhasePresumedAbort) {
+    env_->Log(txn, LogRecordType::kBeginCommit);
+  }
+
+  const std::vector<NodeId> cohorts = Cohorts(rec);
+  if (own_vote == Decision::kAbort || cohorts.empty()) {
+    CoordinatorDecide(txn, rec, own_vote);
+    return;
+  }
+  for (NodeId c : cohorts) {
+    SendTo(c, txn, MsgType::kPrepare, rec);
+    rec.votes_pending.insert(c);
+  }
+  env_->ArmTimer(txn, config_.timeout_us);
+}
+
+void CommitEngine::OnVote(const Message& msg, TxnRecord& rec) {
+  if (rec.state != CohortState::kWait) return;  // late vote after decision
+  rec.votes_pending.erase(msg.src);
+  if (msg.type == MsgType::kVoteAbort) {
+    rec.any_vote_abort = true;
+  } else {
+    rec.commit_voters.insert(msg.src);
+  }
+  if (rec.votes_pending.empty()) {
+    CoordinatorAllVotesIn(msg.txn, rec);
+  }
+}
+
+void CommitEngine::CoordinatorAllVotesIn(TxnId txn, TxnRecord& rec) {
+  if (rec.any_vote_abort || rec.own_vote == Decision::kAbort) {
+    CoordinatorDecide(txn, rec, Decision::kAbort);
+    return;
+  }
+  if (protocol_ == CommitProtocol::kThreePhase) {
+    // Extra phase: Prepare-to-Commit, then wait for acknowledgments.
+    rec.state = CohortState::kPreCommit;
+    env_->Log(txn, LogRecordType::kPreCommit);
+    for (NodeId c : Cohorts(rec)) {
+      SendTo(c, txn, MsgType::kPreCommit, rec);
+      rec.precommit_acks_pending.insert(c);
+    }
+    env_->ArmTimer(txn, config_.timeout_us);
+    return;
+  }
+  CoordinatorDecide(txn, rec, Decision::kCommit);
+}
+
+void CommitEngine::OnPreCommitAck(const Message& msg, TxnRecord& rec) {
+  if (rec.state != CohortState::kPreCommit || !rec.is_coordinator) return;
+  rec.precommit_acks_pending.erase(msg.src);
+  if (rec.precommit_acks_pending.empty()) {
+    CoordinatorDecide(msg.txn, rec, Decision::kCommit);
+  }
+}
+
+void CommitEngine::CoordinatorDecide(TxnId txn, TxnRecord& rec,
+                                     Decision decision) {
+  env_->CancelTimer(txn);
+  rec.decided = true;
+  rec.decision = decision;
+  // Presumed-abort coordinators write no abort records at all: recovery
+  // maps "no entry" to abort, which is exactly the presumption.
+  const bool presumed = protocol_ == CommitProtocol::kTwoPhasePresumedAbort &&
+                        decision == Decision::kAbort;
+  if (!presumed) {
+    env_->Log(txn, decision == Decision::kCommit
+                       ? LogRecordType::kCommitDecision
+                       : LogRecordType::kAbortDecision);
+  }
+  // "First transmit and then commit": the global decision reaches the
+  // network before the coordinator applies it locally. (2PC/3PC share the
+  // ordering; the distinction is that they then wait for acknowledgments.)
+  BroadcastDecision(txn, rec, /*forwarded=*/false);
+  if (AcksExpectedFor(decision)) {
+    // Wait for an ack from every cohort that voted commit (abort-voters
+    // have already aborted unilaterally and forgotten the transaction).
+    rec.acks_pending = rec.commit_voters;
+  }
+  ApplyAndLog(txn, rec, decision);
+  MaybeCleanup(txn, rec);
+}
+
+void CommitEngine::OnAck(const Message& msg, TxnRecord& rec) {
+  rec.acks_pending.erase(msg.src);
+  if (rec.applied) MaybeCleanup(msg.txn, rec);
+}
+
+// --------------------------------------------------------------------------
+// Participant side
+// --------------------------------------------------------------------------
+
+void CommitEngine::ExpectPrepare(TxnId txn, NodeId coordinator,
+                                 std::vector<NodeId> participants) {
+  TxnRecord& rec = records_[txn];
+  if (rec.decided) return;  // decision already arrived (fast path races)
+  rec.is_coordinator = false;
+  rec.coordinator = coordinator;
+  if (!participants.empty()) rec.participants = std::move(participants);
+  rec.state = CohortState::kInitial;
+  env_->ArmTimer(txn, config_.timeout_us);
+}
+
+void CommitEngine::OnPrepare(const Message& msg) {
+  TxnRecord& rec = records_[msg.txn];
+  if (rec.decided) return;
+  rec.coordinator = msg.src;
+  if (!msg.participants.empty()) rec.participants = msg.participants;
+
+  if (rec.state == CohortState::kReady) {
+    // Duplicate Prepare (coordinator retry): re-send our vote.
+    SendTo(msg.src, msg.txn,
+           rec.own_vote == Decision::kCommit ? MsgType::kVoteCommit
+                                             : MsgType::kVoteAbort,
+           rec);
+    return;
+  }
+  if (rec.state != CohortState::kInitial) return;
+
+  const Decision vote = env_->VoteFor(msg.txn);
+  rec.own_vote = vote;
+
+  if (IsEasyCommit()) {
+    // Observation I: an EC participant never moves INITIAL -> ABORT
+    // directly. Whatever it votes, it enters READY and waits for the
+    // global decision (Figure 5b: send decision, then add ready to log).
+    SendTo(msg.src, msg.txn,
+           vote == Decision::kCommit ? MsgType::kVoteCommit
+                                     : MsgType::kVoteAbort,
+           rec);
+    env_->Log(msg.txn, LogRecordType::kReady);
+    rec.state = CohortState::kReady;
+    env_->ArmTimer(msg.txn, config_.timeout_us);
+    return;
+  }
+
+  if (vote == Decision::kCommit) {
+    env_->Log(msg.txn, LogRecordType::kReady);
+    SendTo(msg.src, msg.txn, MsgType::kVoteCommit, rec);
+    rec.state = CohortState::kReady;
+    env_->ArmTimer(msg.txn, config_.timeout_us);
+    return;
+  }
+  // 2PC/3PC: an abort vote moves the cohort to ABORT unilaterally.
+  SendTo(msg.src, msg.txn, MsgType::kVoteAbort, rec);
+  env_->CancelTimer(msg.txn);
+  rec.decided = true;
+  rec.decision = Decision::kAbort;
+  ApplyAndLog(msg.txn, rec, Decision::kAbort);
+  MaybeCleanup(msg.txn, rec);
+}
+
+void CommitEngine::OnPreCommitMsg(const Message& msg, TxnRecord& rec) {
+  if (rec.decided || protocol_ != CommitProtocol::kThreePhase) return;
+  if (rec.state == CohortState::kPreCommit) {
+    SendTo(msg.src, msg.txn, MsgType::kPreCommitAck, rec);  // duplicate
+    return;
+  }
+  if (rec.state != CohortState::kReady) return;
+  env_->Log(msg.txn, LogRecordType::kPreCommit);
+  rec.state = CohortState::kPreCommit;
+  SendTo(msg.src, msg.txn, MsgType::kPreCommitAck, rec);
+  env_->ArmTimer(msg.txn, config_.timeout_us);
+}
+
+void CommitEngine::OnGlobalDecision(const Message& msg, TxnRecord& rec) {
+  const Decision decision = msg.type == MsgType::kGlobalCommit
+                                ? Decision::kCommit
+                                : Decision::kAbort;
+  if (!msg.participants.empty() && rec.participants.empty()) {
+    rec.participants = msg.participants;
+  }
+  rec.seen_decision_from.insert(msg.src);
+  if (rec.decided) {
+    // Duplicate or EC forward; only relevant for cleanup accounting. A
+    // *conflicting* decision can never happen under EC/2PC/3PC with node
+    // failures only; the forwarding-disabled ablation does produce it, and
+    // the counter is how that experiment measures safety violations.
+    if (rec.decision != decision) {
+      conflicting_decisions_++;
+      ECDB_LOG(kWarn, "conflicting decision for txn %llu on node %u",
+               static_cast<unsigned long long>(msg.txn), env_->self());
+    }
+    if (rec.applied) MaybeCleanup(msg.txn, rec);
+    return;
+  }
+  AdoptDecision(msg.txn, rec, decision, /*from_termination=*/false);
+}
+
+void CommitEngine::AdoptDecision(TxnId txn, TxnRecord& rec, Decision decision,
+                                 bool from_termination) {
+  env_->CancelTimer(txn);
+  rec.in_termination = false;
+  rec.decided = true;
+  rec.decision = decision;
+
+  if (from_termination) {
+    // Termination leader: log the decision as reached, then transmit
+    // (paper cases A-C and the leader-election rule).
+    env_->Log(txn, decision == Decision::kCommit
+                       ? LogRecordType::kCommitDecision
+                       : LogRecordType::kAbortDecision);
+    BroadcastDecision(txn, rec, /*forwarded=*/true);
+  } else if (IsEasyCommit()) {
+    // EC participant (Figure 5b): log reception, forward to every node,
+    // only then commit/abort locally.
+    env_->Log(txn, decision == Decision::kCommit
+                       ? LogRecordType::kCommitReceived
+                       : LogRecordType::kAbortReceived);
+    if (ForwardingEnabled()) {
+      BroadcastDecision(txn, rec, /*forwarded=*/true);
+    }
+  } else {
+    // 2PC/3PC participants acknowledge the coordinator's decision; the
+    // presumed variants skip the ack on the presumed side.
+    if (AcksExpectedFor(decision) && rec.coordinator != kInvalidNode &&
+        rec.coordinator != env_->self()) {
+      SendTo(rec.coordinator, txn, MsgType::kAck, rec);
+    }
+  }
+
+  ApplyAndLog(txn, rec, decision);
+  MaybeCleanup(txn, rec);
+}
+
+void CommitEngine::ApplyAndLog(TxnId txn, TxnRecord& rec, Decision decision) {
+  ECDB_CHECK(!rec.applied);
+  rec.applied = true;
+  rec.blocked = false;
+  env_->ApplyDecision(txn, decision);
+  const bool presumed = protocol_ == CommitProtocol::kTwoPhasePresumedAbort &&
+                        decision == Decision::kAbort;
+  if (!presumed) {
+    env_->Log(txn, decision == Decision::kCommit
+                       ? LogRecordType::kTransactionCommit
+                       : LogRecordType::kTransactionAbort);
+  }
+  rec.state = decision == Decision::kCommit ? CohortState::kCommitted
+                                            : CohortState::kAborted;
+  if (config_.keep_decision_ledger) decision_ledger_[txn] = decision;
+}
+
+void CommitEngine::MaybeCleanup(TxnId txn, TxnRecord& rec) {
+  if (!rec.applied) return;
+
+  bool pending = false;
+  if (rec.is_coordinator && !IsEasyCommit()) {
+    pending = !rec.acks_pending.empty();
+  } else if (ForwardingEnabled()) {
+    // EC (Section 5.3): resources are released only after a Global-*
+    // message has been seen from every other participant.
+    for (NodeId p : rec.participants) {
+      if (p == env_->self()) continue;
+      if (rec.seen_decision_from.count(p) == 0) {
+        pending = true;
+        break;
+      }
+    }
+  }
+
+  if (pending) {
+    // Give-up timer: if a peer crashed and its ack/forward never comes,
+    // release resources anyway once the decision is durable.
+    env_->ArmTimer(txn, config_.timeout_us);
+    return;
+  }
+  FinishCleanup(txn, rec);
+}
+
+void CommitEngine::FinishCleanup(TxnId txn, TxnRecord& rec) {
+  (void)rec;
+  env_->CancelTimer(txn);
+  env_->OnCleanup(txn);
+  records_.erase(txn);  // `rec` is invalid past this line
+}
+
+// --------------------------------------------------------------------------
+// Termination protocol
+// --------------------------------------------------------------------------
+
+void CommitEngine::OnTimeout(TxnId txn) {
+  TxnRecord* rec = Find(txn);
+  if (rec == nullptr) return;  // spurious (already cleaned up)
+
+  if (rec->in_termination) {
+    TerminationEvaluate(txn, *rec);
+    return;
+  }
+
+  if (rec->applied) {
+    // Waiting on acks (2PC/3PC coordinator) or EC forwards: give up and
+    // release resources; the decision is already durable and transmitted.
+    // Presumed-abort must never forget an *unacknowledged* commit — the
+    // no-record-means-abort presumption is only sound because commit
+    // records outlive the last missing ack.
+    if (protocol_ == CommitProtocol::kTwoPhasePresumedAbort &&
+        rec->decision == Decision::kCommit && !rec->acks_pending.empty()) {
+      decision_ledger_[txn] = Decision::kCommit;
+    }
+    FinishCleanup(txn, *rec);
+    return;
+  }
+
+  if (rec->is_coordinator) {
+    if (rec->state == CohortState::kWait) {
+      // Case A: a vote is missing; abort.
+      CoordinatorDecide(txn, *rec, Decision::kAbort);
+      return;
+    }
+    if (rec->state == CohortState::kPreCommit) {
+      // 3PC: a cohort failed after voting commit. Every active cohort is
+      // in READY or PRE-COMMIT, so commit is safe; a recovering cohort
+      // learns the outcome from its log + peers.
+      CoordinatorDecide(txn, *rec, Decision::kCommit);
+      return;
+    }
+    return;
+  }
+
+  // Participant timeouts.
+  if (rec->state == CohortState::kInitial && !IsEasyCommit()) {
+    // 2PC/3PC case B: no Prepare arrived; we have not voted, so the
+    // coordinator cannot decide commit — unilateral abort is safe.
+    env_->CancelTimer(txn);
+    rec->decided = true;
+    rec->decision = Decision::kAbort;
+    ApplyAndLog(txn, *rec, Decision::kAbort);
+    MaybeCleanup(txn, *rec);
+    return;
+  }
+  // EC case B/C, 2PC cooperative termination, 3PC termination.
+  StartTermination(txn, *rec);
+}
+
+void CommitEngine::StartTermination(TxnId txn, TxnRecord& rec) {
+  if (IsTwoPhaseFamily() && rec.term_attempts >= kMaxBlockedRetries) {
+    // Blocked 2PC cohorts stop re-running elections after a few fruitless
+    // rounds; under fail-stop the missing coordinator never returns.
+    if (!rec.blocked) {
+      rec.blocked = true;
+      env_->OnBlocked(txn);
+    }
+    rec.in_termination = false;
+    return;
+  }
+  termination_rounds_++;
+  rec.term_attempts++;
+  rec.in_termination = true;
+  rec.term_replies.clear();
+
+  std::unordered_set<NodeId> targets;
+  for (NodeId p : rec.participants) {
+    if (p != env_->self()) targets.insert(p);
+  }
+  if (rec.coordinator != kInvalidNode && rec.coordinator != env_->self()) {
+    targets.insert(rec.coordinator);
+  }
+  for (NodeId t : targets) SendTo(t, txn, MsgType::kTermElect, rec);
+  env_->ArmTimer(txn, config_.termination_window_us);
+}
+
+void CommitEngine::OnTermElect(const Message& msg) {
+  TxnRecord* rec = Find(msg.txn);
+  if (rec == nullptr) {
+    // Possibly already decided and cleaned up; answer from the ledger.
+    auto it = decision_ledger_.find(msg.txn);
+    if (it == decision_ledger_.end()) {
+      if (protocol_ == CommitProtocol::kTwoPhasePresumedAbort) {
+        // Presumed abort: no record of the transaction IS the answer.
+        // (Sound because PA retains commit records until every cohort
+        // acked; an unacked commit is never forgotten.)
+        Message reply;
+        reply.type = MsgType::kGlobalAbort;
+        reply.src = env_->self();
+        reply.dst = msg.src;
+        reply.txn = msg.txn;
+        reply.forwarded = true;
+        env_->Send(std::move(reply));
+      }
+      return;
+    }
+    Message reply;
+    reply.type = it->second == Decision::kCommit ? MsgType::kGlobalCommit
+                                                 : MsgType::kGlobalAbort;
+    reply.src = env_->self();
+    reply.dst = msg.src;
+    reply.txn = msg.txn;
+    reply.forwarded = true;
+    env_->Send(std::move(reply));
+    return;
+  }
+  if (rec->decided) {
+    // Share the decision directly; the initiator adopts it on receipt.
+    SendTo(msg.src, msg.txn,
+           rec->decision == Decision::kCommit ? MsgType::kGlobalCommit
+                                              : MsgType::kGlobalAbort,
+           *rec, /*forwarded=*/true);
+    return;
+  }
+  Message reply;
+  reply.type = MsgType::kTermStateReply;
+  reply.src = env_->self();
+  reply.dst = msg.src;
+  reply.txn = msg.txn;
+  reply.participants = rec->participants;
+  reply.term_state = rec->state;
+  reply.has_decision = false;
+  env_->Send(std::move(reply));
+}
+
+void CommitEngine::OnTermStateReply(const Message& msg, TxnRecord& rec) {
+  if (!rec.in_termination) return;
+  if (!msg.participants.empty() && rec.participants.empty()) {
+    rec.participants = msg.participants;
+  }
+  rec.term_replies[msg.src] = msg;
+}
+
+void CommitEngine::TerminationEvaluate(TxnId txn, TxnRecord& rec) {
+  if (rec.decided) return;
+
+  // A reply that carried a decision (defensive: deciders normally reply
+  // with a Global-* message handled elsewhere).
+  for (const auto& [node, reply] : rec.term_replies) {
+    if (reply.has_decision) {
+      AdoptDecision(txn, rec, reply.decision, /*from_termination=*/true);
+      return;
+    }
+  }
+
+  NodeId leader = env_->self();
+  for (const auto& [node, reply] : rec.term_replies) {
+    leader = std::min(leader, node);
+  }
+  if (leader != env_->self()) {
+    // Someone with a smaller id is active; defer to them. If their
+    // decision never arrives (they crashed mid-termination), the next
+    // timeout re-runs the election without them.
+    rec.in_termination = false;
+    env_->ArmTimer(txn, config_.timeout_us);
+    return;
+  }
+  TerminationLead(txn, rec);
+}
+
+void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
+  if (rec.recovered) {
+    // Section 4.2: a node recovering in the READY/PRE-COMMIT case cannot
+    // terminate the transaction on its own — the decision may have been
+    // reached and applied while it was down. The unilateral rules below
+    // are sound only for nodes that were operational throughout the
+    // failure (they would have received any decision per the transmit-
+    // before-commit discipline). Keep consulting until a peer (or its
+    // decision ledger) answers.
+    rec.in_termination = false;
+    env_->ArmTimer(txn, config_.timeout_us);
+    return;
+  }
+  // If the coordinator is alive but undecided (WAIT), its own timeout will
+  // produce the decision; deciding here would race it. Defer.
+  bool coordinator_active_undecided = false;
+  std::vector<CohortState> states;
+  states.push_back(rec.state);
+  for (const auto& [node, reply] : rec.term_replies) {
+    states.push_back(reply.term_state);
+    if (node == rec.coordinator && reply.term_state == CohortState::kWait) {
+      coordinator_active_undecided = true;
+    }
+  }
+  if (coordinator_active_undecided) {
+    rec.in_termination = false;
+    env_->ArmTimer(txn, config_.timeout_us);
+    return;
+  }
+
+  const auto any_in = [&](CohortState s) {
+    return std::find(states.begin(), states.end(), s) != states.end();
+  };
+
+  switch (protocol_) {
+    case CommitProtocol::kEasyCommit:
+    case CommitProtocol::kEasyCommitNoForward:
+      // Paper: "If none of the nodes know the global decision, then the
+      // leader first adds a log entry for global-abort-decision-reached,
+      // then transmits Global-abort ... and finally aborts."
+      AdoptDecision(txn, rec, Decision::kAbort, /*from_termination=*/true);
+      return;
+
+    case CommitProtocol::kThreePhase:
+      // Skeen: a PRE-COMMIT among the active nodes implies every active
+      // node voted commit and no active node aborted -> commit is safe.
+      // Otherwise no one can have committed -> abort.
+      AdoptDecision(txn, rec,
+                    any_in(CohortState::kPreCommit) ? Decision::kCommit
+                                                    : Decision::kAbort,
+                    /*from_termination=*/true);
+      return;
+
+    case CommitProtocol::kTwoPhase:
+    case CommitProtocol::kTwoPhasePresumedAbort:
+    case CommitProtocol::kTwoPhasePresumedCommit:
+      // Cooperative termination: an INITIAL cohort has not voted, so abort
+      // is safe. If every active cohort is READY and the coordinator is
+      // down, the outcome is unknowable -> blocked. This is the 2PC
+      // blocking behaviour the paper sets out to remove (the presumed
+      // variants optimize logging/acks, not blocking).
+      if (any_in(CohortState::kInitial)) {
+        AdoptDecision(txn, rec, Decision::kAbort, /*from_termination=*/true);
+        return;
+      }
+      rec.blocked = true;
+      rec.in_termination = false;
+      env_->OnBlocked(txn);
+      if (rec.term_attempts < kMaxBlockedRetries) {
+        env_->ArmTimer(txn, config_.timeout_us);
+      }
+      return;
+  }
+}
+
+void CommitEngine::Forget(TxnId txn) {
+  env_->CancelTimer(txn);
+  records_.erase(txn);
+}
+
+void CommitEngine::ResumeAfterRecovery(TxnId txn, NodeId coordinator,
+                                       std::vector<NodeId> participants,
+                                       CohortState state) {
+  TxnRecord& rec = records_[txn];
+  rec.is_coordinator = false;
+  rec.coordinator = coordinator;
+  rec.participants = std::move(participants);
+  rec.state = state;
+  rec.recovered = true;
+  // The next timeout runs the termination protocol, which asks the
+  // participants whether a decision was reached.
+  env_->ArmTimer(txn, config_.termination_window_us);
+}
+
+// --------------------------------------------------------------------------
+// Dispatch and introspection
+// --------------------------------------------------------------------------
+
+void CommitEngine::OnMessage(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kPrepare:
+      OnPrepare(msg);
+      return;
+    case MsgType::kTermElect:
+      OnTermElect(msg);
+      return;
+    default:
+      break;
+  }
+
+  TxnRecord* rec = Find(msg.txn);
+  if (rec == nullptr) return;  // cleaned up or never known; ignore
+
+  switch (msg.type) {
+    case MsgType::kVoteCommit:
+    case MsgType::kVoteAbort:
+      if (rec->is_coordinator) OnVote(msg, *rec);
+      return;
+    case MsgType::kPreCommit:
+      OnPreCommitMsg(msg, *rec);
+      return;
+    case MsgType::kPreCommitAck:
+      OnPreCommitAck(msg, *rec);
+      return;
+    case MsgType::kGlobalCommit:
+    case MsgType::kGlobalAbort:
+      OnGlobalDecision(msg, *rec);
+      return;
+    case MsgType::kAck:
+      if (rec->is_coordinator) OnAck(msg, *rec);
+      return;
+    case MsgType::kTermStateReply:
+      OnTermStateReply(msg, *rec);
+      return;
+    default:
+      return;  // execution-layer messages are not ours
+  }
+}
+
+std::optional<CommitTxnStatus> CommitEngine::StatusOf(TxnId txn) const {
+  auto it = records_.find(txn);
+  if (it == records_.end()) return std::nullopt;
+  const TxnRecord& rec = it->second;
+  CommitTxnStatus status;
+  status.state = rec.state;
+  status.is_coordinator = rec.is_coordinator;
+  status.decided = rec.decided;
+  status.decision = rec.decision;
+  status.blocked = rec.blocked;
+  status.done = false;
+  status.in_termination = rec.in_termination;
+  return status;
+}
+
+std::vector<TxnId> CommitEngine::BlockedTxns() const {
+  std::vector<TxnId> blocked;
+  for (const auto& [txn, rec] : records_) {
+    if (rec.blocked) blocked.push_back(txn);
+  }
+  return blocked;
+}
+
+}  // namespace ecdb

@@ -1,0 +1,239 @@
+#ifndef ECDB_COMMIT_COMMIT_ENGINE_H_
+#define ECDB_COMMIT_COMMIT_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "commit/commit_env.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace ecdb {
+
+/// Timeouts governing the commit protocols. All values in microseconds of
+/// (simulated or real) time. Timeouts must exceed the maximum round-trip
+/// message delay — the synchrony assumption under which the paper proves EC
+/// safe (Section 4 shows no commit protocol is safe under unbounded delay).
+struct CommitEngineConfig {
+  /// How long a node waits for the message that drives its next state
+  /// transition (votes at the coordinator, Prepare/decision at cohorts).
+  Micros timeout_us = 10'000;
+
+  /// How long a termination-protocol initiator collects state replies
+  /// before evaluating leadership.
+  Micros termination_window_us = 5'000;
+
+  /// Keep a map of decided transactions so late termination queries (from
+  /// nodes that timed out after this node cleaned up) can still be
+  /// answered. Enabled by fault-injection tests; off for benchmarks.
+  bool keep_decision_ledger = false;
+};
+
+/// Per-transaction, per-node view of the commit protocol, exposed for
+/// tests and the invariant monitor.
+struct CommitTxnStatus {
+  CohortState state = CohortState::kInitial;
+  bool is_coordinator = false;
+  bool decided = false;
+  Decision decision = Decision::kAbort;
+  bool blocked = false;
+  bool done = false;  // cleanup delivered to host
+  bool in_termination = false;
+};
+
+/// Atomic-commitment engine for one node. Implements the coordinator and
+/// participant state machines of 2PC, 3PC and EasyCommit (plus the
+/// forwarding-disabled EC ablation), and the cooperative termination
+/// protocol each of them falls back to on timeouts.
+///
+/// Host contract:
+///  * Coordinator side: call StartCommit() once the transaction's fragments
+///    have all executed successfully.
+///  * Participant side: call ExpectPrepare() when a remote fragment
+///    executes, so the node can time out if the Prepare never arrives
+///    (termination case B).
+///  * Route every commit-protocol message (kPrepare .. kTermStateReply) to
+///    OnMessage(), and deliver timer expirations to OnTimeout().
+///
+/// The engine is deliberately single-threaded; each runtime serializes
+/// calls per node.
+class CommitEngine {
+ public:
+  CommitEngine(CommitProtocol protocol, CommitEnv* env,
+               CommitEngineConfig config = {});
+
+  CommitEngine(const CommitEngine&) = delete;
+  CommitEngine& operator=(const CommitEngine&) = delete;
+
+  CommitProtocol protocol() const { return protocol_; }
+
+  /// Coordinator entry point. `participants` lists every node touching the
+  /// transaction with the coordinator (this node) first. `own_vote` is the
+  /// local fragment's vote.
+  void StartCommit(TxnId txn, std::vector<NodeId> participants,
+                   Decision own_vote);
+
+  /// Participant entry point: a fragment of `txn` executed here; the
+  /// coordinator will (normally) send Prepare. `participants` is the full
+  /// participant list (coordinator first), piggybacked on the fragment.
+  void ExpectPrepare(TxnId txn, NodeId coordinator,
+                     std::vector<NodeId> participants);
+
+  /// Delivers a commit-protocol or termination-protocol message.
+  void OnMessage(const Message& msg);
+
+  /// Drops all engine state for `txn` without callbacks. The host calls
+  /// this when an attempt is aborted *before* the commit protocol started
+  /// (execution-phase rollback), so a stale ExpectPrepare record does not
+  /// later trigger spurious termination rounds.
+  void Forget(TxnId txn);
+
+  /// Re-registers a transaction after this node recovered from a crash in
+  /// the consult-peers case (last WAL entry `ready`/`pre-commit`). The
+  /// armed timer fires the termination protocol, which consults the listed
+  /// participants for the outcome.
+  void ResumeAfterRecovery(TxnId txn, NodeId coordinator,
+                           std::vector<NodeId> participants,
+                           CohortState state);
+
+  /// Delivers the expiration of the timer armed via CommitEnv::ArmTimer.
+  void OnTimeout(TxnId txn);
+
+  /// Status of `txn` on this node, if the engine still tracks it.
+  std::optional<CommitTxnStatus> StatusOf(TxnId txn) const;
+
+  /// Transactions currently marked blocked (2PC only).
+  std::vector<TxnId> BlockedTxns() const;
+
+  /// Number of transactions still tracked (not yet cleaned up).
+  size_t ActiveCount() const { return records_.size(); }
+
+  /// Total termination-protocol rounds initiated by this node.
+  uint64_t termination_rounds() const { return termination_rounds_; }
+
+  /// Number of decision messages received that contradicted an already
+  /// applied local decision. Always zero for 2PC/3PC/EC under node
+  /// failures; nonzero values quantify the safety loss of the
+  /// forwarding-disabled ablation.
+  uint64_t conflicting_decisions() const { return conflicting_decisions_; }
+
+ private:
+  struct TxnRecord {
+    bool is_coordinator = false;
+    NodeId coordinator = kInvalidNode;
+    std::vector<NodeId> participants;  // coordinator first; empty until known
+    CohortState state = CohortState::kInitial;
+    Decision own_vote = Decision::kCommit;
+
+    // Coordinator bookkeeping.
+    std::unordered_set<NodeId> votes_pending;
+    std::unordered_set<NodeId> commit_voters;
+    std::unordered_set<NodeId> precommit_acks_pending;  // 3PC
+    std::unordered_set<NodeId> acks_pending;            // 2PC/3PC
+    bool any_vote_abort = false;
+
+    // Decision state.
+    bool decided = false;
+    Decision decision = Decision::kAbort;
+    bool applied = false;
+    bool blocked = false;
+
+    // EC cleanup tracking: participants from whom a Global-* message
+    // (original or forwarded) has been received.
+    std::unordered_set<NodeId> seen_decision_from;
+
+    // Termination protocol.
+    bool recovered = false;  // resumed via ResumeAfterRecovery (Section 4.2)
+    bool in_termination = false;
+    uint32_t term_attempts = 0;
+    std::unordered_map<NodeId, Message> term_replies;
+  };
+
+  /// After this many fruitless termination rounds a blocked 2PC cohort
+  /// stops re-arming its timer (it stays blocked; under fail-stop the
+  /// missing coordinator never returns).
+  static constexpr uint32_t kMaxBlockedRetries = 5;
+
+  TxnRecord* Find(TxnId txn);
+
+  std::vector<NodeId> Cohorts(const TxnRecord& rec) const;
+  void SendTo(NodeId dst, TxnId txn, MsgType type, const TxnRecord& rec,
+              bool forwarded = false);
+  void BroadcastDecision(TxnId txn, TxnRecord& rec, bool forwarded);
+
+  // --- Coordinator paths ---
+  void CoordinatorAllVotesIn(TxnId txn, TxnRecord& rec);
+  void CoordinatorDecide(TxnId txn, TxnRecord& rec, Decision decision);
+  void OnVote(const Message& msg, TxnRecord& rec);
+  void OnPreCommitAck(const Message& msg, TxnRecord& rec);
+  void OnAck(const Message& msg, TxnRecord& rec);
+
+  // --- Participant paths ---
+  void OnPrepare(const Message& msg);
+  void OnPreCommitMsg(const Message& msg, TxnRecord& rec);
+  void OnGlobalDecision(const Message& msg, TxnRecord& rec);
+
+  /// Applies a decision learned at a participant (or a termination
+  /// leader): forwards it first under EC ("first transmit and then
+  /// commit"), then applies and logs it.
+  void AdoptDecision(TxnId txn, TxnRecord& rec, Decision decision,
+                     bool from_termination);
+
+  /// Marks decided+applied and checks whether cleanup can fire.
+  void ApplyAndLog(TxnId txn, TxnRecord& rec, Decision decision);
+  void MaybeCleanup(TxnId txn, TxnRecord& rec);
+  void FinishCleanup(TxnId txn, TxnRecord& rec);
+
+  // --- Termination protocol ---
+  void StartTermination(TxnId txn, TxnRecord& rec);
+  void OnTermElect(const Message& msg);
+  void OnTermStateReply(const Message& msg, TxnRecord& rec);
+  void TerminationEvaluate(TxnId txn, TxnRecord& rec);
+  void TerminationLead(TxnId txn, TxnRecord& rec);
+
+  bool IsEasyCommit() const {
+    return protocol_ == CommitProtocol::kEasyCommit ||
+           protocol_ == CommitProtocol::kEasyCommitNoForward;
+  }
+  bool IsTwoPhaseFamily() const {
+    return protocol_ == CommitProtocol::kTwoPhase ||
+           protocol_ == CommitProtocol::kTwoPhasePresumedAbort ||
+           protocol_ == CommitProtocol::kTwoPhasePresumedCommit;
+  }
+  /// Whether an acknowledgment round follows a `decision` broadcast:
+  /// plain 2PC/3PC ack everything, PA acks only commits (aborts are the
+  /// presumption), PC acks only aborts, EC acks nothing.
+  bool AcksExpectedFor(Decision decision) const {
+    switch (protocol_) {
+      case CommitProtocol::kTwoPhase:
+      case CommitProtocol::kThreePhase:
+        return true;
+      case CommitProtocol::kTwoPhasePresumedAbort:
+        return decision == Decision::kCommit;
+      case CommitProtocol::kTwoPhasePresumedCommit:
+        return decision == Decision::kAbort;
+      case CommitProtocol::kEasyCommit:
+      case CommitProtocol::kEasyCommitNoForward:
+        return false;
+    }
+    return true;
+  }
+  bool ForwardingEnabled() const {
+    return protocol_ == CommitProtocol::kEasyCommit;
+  }
+
+  CommitProtocol protocol_;
+  CommitEnv* env_;
+  CommitEngineConfig config_;
+  std::unordered_map<TxnId, TxnRecord> records_;
+  std::unordered_map<TxnId, Decision> decision_ledger_;
+  uint64_t termination_rounds_ = 0;
+  uint64_t conflicting_decisions_ = 0;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_COMMIT_COMMIT_ENGINE_H_

@@ -1,0 +1,63 @@
+#ifndef ECDB_COMMIT_COMMIT_ENV_H_
+#define ECDB_COMMIT_COMMIT_ENV_H_
+
+#include "common/types.h"
+#include "net/message.h"
+#include "wal/log_record.h"
+
+namespace ecdb {
+
+/// Host interface for the commit-protocol engine. The protocol state
+/// machines are sans-I/O: every externally visible effect (sending a
+/// message, writing the log, arming a timeout, applying a decision) goes
+/// through this interface, so the same machines run unchanged inside the
+/// discrete-event simulator, the threaded runtime, and unit tests that
+/// script message deliveries by hand.
+class CommitEnv {
+ public:
+  virtual ~CommitEnv() = default;
+
+  /// This node's id.
+  virtual NodeId self() const = 0;
+
+  /// Transmits `msg` (src is already stamped with self()).
+  virtual void Send(Message msg) = 0;
+
+  /// Appends a commit-protocol milestone to this node's WAL. Called
+  /// *before* the action it describes takes effect (write-ahead rule).
+  virtual void Log(TxnId txn, LogRecordType type) = 0;
+
+  /// Arms (or re-arms) the single protocol timer for `txn`; after
+  /// `delay_us` of simulated/real time the host must call
+  /// CommitEngine::OnTimeout(txn) unless the timer was re-armed/cancelled.
+  virtual void ArmTimer(TxnId txn, Micros delay_us) = 0;
+
+  /// Cancels the pending timer for `txn`, if any.
+  virtual void CancelTimer(TxnId txn) = 0;
+
+  /// Participant-side local vote: whether this node's fragment of `txn`
+  /// can commit. Without failures every transaction reaching the prepare
+  /// phase votes commit (paper footnote 5); fault-injection tests override
+  /// this to exercise abort paths.
+  virtual Decision VoteFor(TxnId txn) = 0;
+
+  /// Applies the global decision to local state: on commit, release locks
+  /// and make writes durable; on abort, roll back the fragment. Called
+  /// exactly once per transaction per node.
+  virtual void ApplyDecision(TxnId txn, Decision decision) = 0;
+
+  /// The commit protocol cannot make progress for `txn` (2PC cooperative
+  /// termination found all active cohorts in READY with the coordinator
+  /// failed). The node keeps its locks — this is the blocking behaviour
+  /// EasyCommit eliminates.
+  virtual void OnBlocked(TxnId txn) = 0;
+
+  /// All protocol activity for `txn` has finished on this node (for EC:
+  /// the forwarded decision was received from every other participant, per
+  /// Section 5.3); transaction resources may be released.
+  virtual void OnCleanup(TxnId txn) = 0;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_COMMIT_COMMIT_ENV_H_

@@ -1,0 +1,88 @@
+#include "commit/invariants.h"
+
+#include <optional>
+
+namespace ecdb {
+
+StateClass ClassOf(CohortState state) {
+  switch (state) {
+    case CohortState::kInitial:
+    case CohortState::kReady:
+    case CohortState::kWait:
+    case CohortState::kPreCommit:
+      return StateClass::kUndecided;
+    case CohortState::kTransmitA:
+      return StateClass::kTransmitA;
+    case CohortState::kTransmitC:
+      return StateClass::kTransmitC;
+    case CohortState::kAborted:
+      return StateClass::kAbort;
+    case CohortState::kCommitted:
+      return StateClass::kCommit;
+  }
+  return StateClass::kUndecided;
+}
+
+bool CanCoexist(StateClass a, StateClass b) {
+  // Figure 7, symmetric. Row/column order:
+  // UNDECIDED, TRANSMIT-A, TRANSMIT-C, ABORT, COMMIT.
+  static constexpr bool kTable[5][5] = {
+      //            UND    T-A    T-C    ABORT  COMMIT
+      /* UND    */ {true,  true,  true,  false, false},
+      /* T-A    */ {true,  true,  false, true,  false},
+      /* T-C    */ {true,  false, true,  false, true},
+      /* ABORT  */ {false, true,  false, true,  false},
+      /* COMMIT */ {false, false, true,  false, true},
+  };
+  return kTable[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+void SafetyMonitor::RecordApplied(TxnId txn, NodeId node, Decision decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerTxn& per = txns_[txn];
+  per.applied[node] = decision;
+  for (const auto& [other, d] : per.applied) {
+    if (d != decision) {
+      per.conflict = true;
+      break;
+    }
+  }
+}
+
+void SafetyMonitor::RecordBlocked(TxnId txn, NodeId node) {
+  (void)node;
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_reports_++;
+  blocked_txns_[txn]++;
+}
+
+std::vector<TxnId> SafetyMonitor::Violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnId> out;
+  for (const auto& [txn, per] : txns_) {
+    if (per.conflict) out.push_back(txn);
+  }
+  return out;
+}
+
+std::optional<Decision> SafetyMonitor::DecisionOf(TxnId txn,
+                                                  NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return std::nullopt;
+  auto nit = it->second.applied.find(node);
+  if (nit == it->second.applied.end()) return std::nullopt;
+  return nit->second;
+}
+
+std::vector<std::pair<NodeId, Decision>> SafetyMonitor::AppliedFor(
+    TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<NodeId, Decision>> out;
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return out;
+  for (const auto& [node, d] : it->second.applied) out.emplace_back(node, d);
+  return out;
+}
+
+}  // namespace ecdb

@@ -1,0 +1,83 @@
+#ifndef ECDB_COMMIT_INVARIANTS_H_
+#define ECDB_COMMIT_INVARIANTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace ecdb {
+
+/// The five state classes of the expanded EC state diagram (Figure 6):
+/// every protocol-visible state maps into one of these, and Figure 7
+/// defines which pairs may coexist across nodes at the same instant.
+enum class StateClass : uint8_t {
+  kUndecided,  // INITIAL, READY, WAIT (and 3PC PRE-COMMIT for this check)
+  kTransmitA,  // global abort known, still transmitting
+  kTransmitC,  // global commit known, still transmitting
+  kAbort,
+  kCommit,
+};
+
+/// Maps a cohort state (plus decision knowledge) to its Figure-6 class.
+StateClass ClassOf(CohortState state);
+
+/// Figure 7: whether two state classes may coexist on different nodes for
+/// the same transaction. E.g. TRANSMIT-C and ABORT conflict; TRANSMIT-C
+/// and COMMIT coexist.
+bool CanCoexist(StateClass a, StateClass b);
+
+/// Records the decisions every node applies for every transaction and
+/// flags conflicts (one node commits while another aborts — the safety
+/// violation Theorem 3.1 rules out for EC). Fault-injection tests and the
+/// forwarding ablation feed this monitor; any violation under plain
+/// EC/2PC/3PC with node failures is a bug. Thread-safe: the threaded
+/// runtime records from every node thread concurrently.
+class SafetyMonitor {
+ public:
+  /// Reports that `node` applied `decision` for `txn`.
+  void RecordApplied(TxnId txn, NodeId node, Decision decision);
+
+  /// Reports that `node` declared itself blocked on `txn`.
+  void RecordBlocked(TxnId txn, NodeId node);
+
+  /// Transactions for which conflicting decisions were applied.
+  std::vector<TxnId> Violations() const;
+
+  /// Total (txn, node) blocked reports.
+  uint64_t blocked_reports() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_reports_;
+  }
+
+  /// Distinct transactions with at least one blocked node.
+  size_t BlockedTxnCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_txns_.size();
+  }
+
+  /// Decision applied by `node` for `txn`, if recorded.
+  std::optional<Decision> DecisionOf(TxnId txn, NodeId node) const;
+
+  /// All (node, decision) pairs recorded for `txn`.
+  std::vector<std::pair<NodeId, Decision>> AppliedFor(TxnId txn) const;
+
+ private:
+  struct PerTxn {
+    std::unordered_map<NodeId, Decision> applied;
+    bool conflict = false;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, PerTxn> txns_;
+  std::unordered_map<TxnId, uint64_t> blocked_txns_;
+  uint64_t blocked_reports_ = 0;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_COMMIT_INVARIANTS_H_

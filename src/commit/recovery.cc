@@ -1,0 +1,49 @@
+#include "commit/recovery.h"
+
+#include <unordered_map>
+
+namespace ecdb {
+
+RecoveryAction RecoveryManager::AnalyzeRecord(
+    const std::optional<LogRecord>& last) {
+  if (!last.has_value()) return RecoveryAction::kAbort;
+  switch (last->type) {
+    case LogRecordType::kBeginCommit:
+      // Coordinator failed before reaching a decision (rule ii).
+      return RecoveryAction::kAbort;
+    case LogRecordType::kReady:
+    case LogRecordType::kPreCommit:
+      // Voted commit; the decision may have gone either way.
+      return RecoveryAction::kConsultPeers;
+    case LogRecordType::kCommitDecision:
+    case LogRecordType::kCommitReceived:
+    case LogRecordType::kTransactionCommit:
+      return RecoveryAction::kCommit;
+    case LogRecordType::kAbortDecision:
+    case LogRecordType::kAbortReceived:
+    case LogRecordType::kTransactionAbort:
+      return RecoveryAction::kAbort;
+  }
+  return RecoveryAction::kConsultPeers;
+}
+
+RecoveryAction RecoveryManager::Analyze(const WriteAheadLog& wal, TxnId txn) {
+  return AnalyzeRecord(wal.LastFor(txn));
+}
+
+std::vector<TxnId> RecoveryManager::InFlightTxns(const WriteAheadLog& wal) {
+  std::unordered_map<TxnId, LogRecordType> last;
+  for (const LogRecord& record : wal.Scan()) {
+    last[record.txn] = record.type;
+  }
+  std::vector<TxnId> in_flight;
+  for (const auto& [txn, type] : last) {
+    if (type != LogRecordType::kTransactionCommit &&
+        type != LogRecordType::kTransactionAbort) {
+      in_flight.push_back(txn);
+    }
+  }
+  return in_flight;
+}
+
+}  // namespace ecdb

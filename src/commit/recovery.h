@@ -1,0 +1,49 @@
+#ifndef ECDB_COMMIT_RECOVERY_H_
+#define ECDB_COMMIT_RECOVERY_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "wal/wal.h"
+
+namespace ecdb {
+
+/// What a recovering node should do with a transaction that was in flight
+/// when it crashed.
+enum class RecoveryAction : uint8_t {
+  kAbort,         // independently abort (rules i and ii of Section 4.2)
+  kCommit,        // independently commit (rule iii, commit decision logged)
+  kConsultPeers,  // outcome unknowable locally; ask active participants
+};
+
+/// Implements the independent-recovery analysis of Section 4.2: given the
+/// local WAL, decide each in-flight transaction's fate without (when
+/// possible) contacting other nodes.
+///
+/// Rules, keyed on the *last* WAL entry for the transaction:
+///  * none / begin_commit .......... abort  (failed before voting / before
+///                                   reaching a decision — rules i, ii)
+///  * ready / pre-commit ........... consult peers (voted commit; the
+///                                   global outcome is unknowable locally —
+///                                   the case where 2PC/3PC/EC all lack
+///                                   independent recovery)
+///  * *-commit-decision/received ... commit (rule iii)
+///  * *-abort-decision/received .... abort  (rule iii)
+///  * transaction-commit/abort ..... already durable; redo is a no-op
+class RecoveryManager {
+ public:
+  /// Action for one transaction based on `wal`'s last entry for it.
+  static RecoveryAction Analyze(const WriteAheadLog& wal, TxnId txn);
+
+  /// Same, from an already-fetched last record (nullopt = no entry).
+  static RecoveryAction AnalyzeRecord(const std::optional<LogRecord>& last);
+
+  /// Scans `wal` and returns every transaction with protocol activity but
+  /// no terminal (transaction-commit/abort) entry — the set a recovering
+  /// node must resolve.
+  static std::vector<TxnId> InFlightTxns(const WriteAheadLog& wal);
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_COMMIT_RECOVERY_H_

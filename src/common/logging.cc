@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+
+#include <atomic>
+
+namespace ecdb {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kError)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
+             ...) {
+  // Strip directories from the path for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), base, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace internal_logging
+
+}  // namespace ecdb

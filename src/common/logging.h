@@ -1,0 +1,52 @@
+#ifndef ECDB_COMMON_LOGGING_H_
+#define ECDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecdb {
+
+/// Severity for diagnostic logging. Diagnostic output is off by default so
+/// benchmarks stay quiet; tests and examples can raise the level.
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Returns the process-wide diagnostic level (default kError).
+LogLevel GetLogLevel();
+
+/// Sets the process-wide diagnostic level.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace internal_logging
+
+}  // namespace ecdb
+
+/// printf-style diagnostics. Usage: ECDB_LOG(kInfo, "node %u up", id);
+#define ECDB_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (::ecdb::GetLogLevel() >= ::ecdb::LogLevel::level) {               \
+      ::ecdb::internal_logging::LogImpl(::ecdb::LogLevel::level,          \
+                                        __FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                     \
+  } while (0)
+
+/// Fatal invariant check; aborts with a message when `cond` is false.
+/// Used for programmer errors, never for recoverable runtime conditions.
+#define ECDB_CHECK(cond, ...)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ecdb::internal_logging::LogImpl(::ecdb::LogLevel::kError, __FILE__, \
+                                        __LINE__, "CHECK failed: " #cond);  \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // ECDB_COMMON_LOGGING_H_

@@ -1,0 +1,34 @@
+#ifndef ECDB_COMMON_OPERATION_H_
+#define ECDB_COMMON_OPERATION_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ecdb {
+
+/// Identifier of a table in the catalog.
+using TableId = uint32_t;
+
+/// Access mode of a single transactional operation.
+enum class AccessMode : uint8_t {
+  kRead,
+  kWrite,
+};
+
+/// One read or write of a row, the unit of work inside a transaction.
+/// Workloads compile transactions into vectors of operations; the execution
+/// engine routes each operation to the partition owning its key.
+struct Operation {
+  TableId table = 0;
+  Key key = 0;
+  AccessMode mode = AccessMode::kRead;
+
+  bool is_write() const { return mode == AccessMode::kWrite; }
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_COMMON_OPERATION_H_

@@ -1,0 +1,70 @@
+#ifndef ECDB_COMMON_RNG_H_
+#define ECDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ecdb {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Every stochastic component of
+/// the platform (network jitter, workload generators, client think times)
+/// draws from an explicitly seeded `Rng` so runs are reproducible; nothing
+/// uses `std::random_device` or global random state.
+class Rng {
+ public:
+  /// Seeds the generator. Two `Rng`s with the same seed produce identical
+  /// streams on every platform.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). `bound` must be nonzero. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Derives an independent child generator; convenient for handing each
+  /// component its own stream while keeping a single root seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipfian-distributed key generator over [0, n), as used by YCSB. The skew
+/// parameter `theta` follows the YCSB convention: theta near 0 is uniform
+/// and theta 0.9 is extremely skewed (the paper sweeps 0.1 .. 0.9). Uses the
+/// Gray et al. rejection-free method with precomputed zeta constants.
+class ZipfianGenerator {
+ public:
+  /// Prepares a generator over `n` items with skew `theta` in [0, 1).
+  ZipfianGenerator(uint64_t n, double theta);
+
+  /// Draws the next item in [0, n). Item 0 is the hottest.
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_COMMON_RNG_H_

@@ -1,0 +1,27 @@
+#include "common/types.h"
+
+namespace ecdb {
+
+std::string ToString(Decision decision) {
+  return decision == Decision::kCommit ? "commit" : "abort";
+}
+
+std::string ToString(CommitProtocol protocol) {
+  switch (protocol) {
+    case CommitProtocol::kTwoPhase:
+      return "2PC";
+    case CommitProtocol::kThreePhase:
+      return "3PC";
+    case CommitProtocol::kEasyCommit:
+      return "EC";
+    case CommitProtocol::kEasyCommitNoForward:
+      return "EC-noforward";
+    case CommitProtocol::kTwoPhasePresumedAbort:
+      return "2PC-PA";
+    case CommitProtocol::kTwoPhasePresumedCommit:
+      return "2PC-PC";
+  }
+  return "unknown";
+}
+
+}  // namespace ecdb

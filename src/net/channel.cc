@@ -1,0 +1,78 @@
+#include "net/channel.h"
+
+#include <utility>
+
+namespace ecdb {
+
+void MessageChannel::Push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+bool MessageChannel::Pop(Message* out, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout,
+                    [this] { return !queue_.empty() || closed_; })) {
+    return false;
+  }
+  if (queue_.empty()) return false;  // closed and drained
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool MessageChannel::TryPop(Message* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void MessageChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t MessageChannel::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ThreadNetwork::ThreadNetwork(size_t num_nodes)
+    : channels_(num_nodes), crashed_(num_nodes) {
+  for (auto& ch : channels_) ch = std::make_unique<MessageChannel>();
+  for (auto& c : crashed_) c.store(false, std::memory_order_relaxed);
+}
+
+void ThreadNetwork::Send(Message msg) {
+  if (msg.dst >= channels_.size()) return;
+  if (crashed_[msg.src].load(std::memory_order_relaxed)) return;
+  if (crashed_[msg.dst].load(std::memory_order_relaxed)) return;
+  channels_[msg.dst]->Push(std::move(msg));
+}
+
+void ThreadNetwork::CrashNode(NodeId node) {
+  crashed_[node].store(true, std::memory_order_relaxed);
+}
+
+void ThreadNetwork::RecoverNode(NodeId node) {
+  crashed_[node].store(false, std::memory_order_relaxed);
+}
+
+bool ThreadNetwork::IsCrashed(NodeId node) const {
+  return crashed_[node].load(std::memory_order_relaxed);
+}
+
+void ThreadNetwork::Shutdown() {
+  for (auto& ch : channels_) ch->Close();
+}
+
+}  // namespace ecdb

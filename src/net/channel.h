@@ -1,0 +1,77 @@
+#ifndef ECDB_NET_CHANNEL_H_
+#define ECDB_NET_CHANNEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace ecdb {
+
+/// Thread-safe blocking message queue: the mailbox of one node in the
+/// threaded runtime. Multiple producers, single consumer.
+class MessageChannel {
+ public:
+  MessageChannel() = default;
+  MessageChannel(const MessageChannel&) = delete;
+  MessageChannel& operator=(const MessageChannel&) = delete;
+
+  /// Enqueues a message; wakes a blocked consumer. No-op after Close().
+  void Push(Message msg);
+
+  /// Dequeues the next message, blocking up to `timeout`. Returns false on
+  /// timeout or when the channel is closed and drained.
+  bool Pop(Message* out, std::chrono::milliseconds timeout);
+
+  /// Non-blocking dequeue. Returns false when empty.
+  bool TryPop(Message* out);
+
+  /// Closes the channel; blocked consumers wake up once it drains.
+  void Close();
+
+  size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+/// Message router for the threaded in-process runtime: one mailbox per
+/// node, `Send` routes by destination id. Crashing a node stops delivery to
+/// and from it, giving the same fail-stop semantics as the simulator.
+class ThreadNetwork {
+ public:
+  explicit ThreadNetwork(size_t num_nodes);
+
+  /// Routes `msg` to the mailbox of `msg.dst`. Messages involving crashed
+  /// nodes are silently dropped (fail-stop).
+  void Send(Message msg);
+
+  /// The receiving mailbox of `node`.
+  MessageChannel& channel(NodeId node) { return *channels_[node]; }
+
+  void CrashNode(NodeId node);
+  void RecoverNode(NodeId node);
+  bool IsCrashed(NodeId node) const;
+
+  /// Closes every mailbox; node threads drain and exit.
+  void Shutdown();
+
+  size_t num_nodes() const { return channels_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<MessageChannel>> channels_;
+  std::vector<std::atomic<bool>> crashed_;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_NET_CHANNEL_H_

@@ -1,0 +1,71 @@
+#include "net/message.h"
+
+namespace ecdb {
+
+std::string ToString(MsgType type) {
+  switch (type) {
+    case MsgType::kPrepare:
+      return "Prepare";
+    case MsgType::kVoteCommit:
+      return "VoteCommit";
+    case MsgType::kVoteAbort:
+      return "VoteAbort";
+    case MsgType::kPreCommit:
+      return "PreCommit";
+    case MsgType::kPreCommitAck:
+      return "PreCommitAck";
+    case MsgType::kGlobalCommit:
+      return "GlobalCommit";
+    case MsgType::kGlobalAbort:
+      return "GlobalAbort";
+    case MsgType::kAck:
+      return "Ack";
+    case MsgType::kTermElect:
+      return "TermElect";
+    case MsgType::kTermStateRequest:
+      return "TermStateRequest";
+    case MsgType::kTermStateReply:
+      return "TermStateReply";
+    case MsgType::kRemoteExec:
+      return "RemoteExec";
+    case MsgType::kRemoteExecOk:
+      return "RemoteExecOk";
+    case MsgType::kRemoteExecFail:
+      return "RemoteExecFail";
+    case MsgType::kRemoteRollback:
+      return "RemoteRollback";
+  }
+  return "Unknown";
+}
+
+std::string ToString(CohortState state) {
+  switch (state) {
+    case CohortState::kInitial:
+      return "INITIAL";
+    case CohortState::kReady:
+      return "READY";
+    case CohortState::kWait:
+      return "WAIT";
+    case CohortState::kPreCommit:
+      return "PRE-COMMIT";
+    case CohortState::kTransmitA:
+      return "TRANSMIT-A";
+    case CohortState::kTransmitC:
+      return "TRANSMIT-C";
+    case CohortState::kAborted:
+      return "ABORT";
+    case CohortState::kCommitted:
+      return "COMMIT";
+  }
+  return "UNKNOWN";
+}
+
+size_t Message::ApproximateBytes() const {
+  // Fixed header: type, src, dst, txn, flags.
+  size_t bytes = 24;
+  bytes += participants.size() * sizeof(NodeId);
+  bytes += ops.size() * (sizeof(Key) + sizeof(TableId) + 1);
+  return bytes;
+}
+
+}  // namespace ecdb

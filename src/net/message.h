@@ -1,0 +1,103 @@
+#ifndef ECDB_NET_MESSAGE_H_
+#define ECDB_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/operation.h"
+#include "common/types.h"
+
+namespace ecdb {
+
+/// Wire-level message kinds exchanged between nodes. The first group is the
+/// commit-protocol vocabulary shared by 2PC, 3PC and EasyCommit; the second
+/// group implements the termination protocol (leader election + state
+/// query); the last group carries transaction execution between partitions.
+enum class MsgType : uint8_t {
+  // --- Atomic commitment ---
+  kPrepare,       // coordinator -> cohorts: start voting
+  kVoteCommit,    // cohort -> coordinator
+  kVoteAbort,     // cohort -> coordinator
+  kPreCommit,     // 3PC only: coordinator -> cohorts (Prepare-to-Commit)
+  kPreCommitAck,  // 3PC only: cohort -> coordinator
+  kGlobalCommit,  // global decision; in EC also forwarded cohort->everyone
+  kGlobalAbort,   // global decision; in EC also forwarded cohort->everyone
+  kAck,           // 2PC/3PC: cohort acknowledges global decision
+
+  // --- Termination protocol (run by active nodes after a timeout) ---
+  kTermElect,         // announce election for a transaction's leadership
+  kTermStateRequest,  // leader -> active participants: report your state
+  kTermStateReply,    // participant -> leader: state + known decision
+
+  // --- Transaction execution ---
+  kRemoteExec,      // coordinator -> remote partition: run these operations
+  kRemoteExecOk,    // remote partition -> coordinator: fragment succeeded
+  kRemoteExecFail,  // remote partition -> coordinator: conflict, must abort
+  kRemoteRollback,  // coordinator -> remote partition: undo fragment
+};
+
+/// Returns a short name like "Prepare" or "GlobalCommit".
+std::string ToString(MsgType type);
+
+/// Commit-protocol state of a cohort as reported to a termination-protocol
+/// leader. Mirrors the paper's state diagrams (Figures 1, 2, 4 and the
+/// expanded Figure 6 with the hidden TRANSMIT states).
+enum class CohortState : uint8_t {
+  kInitial,    // has not voted yet
+  kReady,      // voted commit, awaiting decision
+  kWait,       // coordinator only: collecting votes
+  kPreCommit,  // 3PC only: received Prepare-to-Commit
+  kTransmitA,  // EC hidden state: decision=abort known, still forwarding
+  kTransmitC,  // EC hidden state: decision=commit known, still forwarding
+  kAborted,    // terminal
+  kCommitted,  // terminal
+};
+
+/// Returns a short name like "READY" or "TRANSMIT-C".
+std::string ToString(CohortState state);
+
+/// A message between two nodes. One flat struct serves every message kind;
+/// unused fields stay at their defaults. (The real system serializes over
+/// TCP; here the struct *is* the wire format, and `ApproximateBytes` models
+/// its serialized size for network accounting.)
+struct Message {
+  MsgType type = MsgType::kPrepare;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TxnId txn = kInvalidTxn;
+
+  /// All transaction participants (coordinator first). The paper extends
+  /// the Global-* messages with exactly this field so EC cohorts know whom
+  /// to forward the decision to (Section 5.3); we also piggyback it on
+  /// Prepare so cohorts can run the termination protocol.
+  std::vector<NodeId> participants;
+
+  /// True when a Global-* message is a cohort-side forward (EC second
+  /// phase) rather than the coordinator's original transmission.
+  bool forwarded = false;
+
+  /// Termination protocol payload: reporting node's state and, if it knows
+  /// one, the global decision.
+  CohortState term_state = CohortState::kInitial;
+  bool has_decision = false;
+  Decision decision = Decision::kAbort;
+
+  /// Execution payload for kRemoteExec.
+  std::vector<Operation> ops;
+
+  /// kRemoteExec: whether the whole transaction performs writes anywhere
+  /// (write-free multi-partition transactions skip the commit protocol, so
+  /// the fragment must not wait for a Prepare).
+  bool txn_has_writes = false;
+
+  /// kRemoteExec: the transaction's WAIT_DIE priority timestamp.
+  uint64_t priority_ts = 0;
+
+  /// Estimated serialized size in bytes, used by the network model.
+  size_t ApproximateBytes() const;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_NET_MESSAGE_H_

@@ -1,0 +1,114 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ecdb {
+
+SimNetwork::SimNetwork(Scheduler* scheduler, NetworkConfig config,
+                       uint64_t seed)
+    : scheduler_(scheduler), config_(config), rng_(seed) {}
+
+void SimNetwork::RegisterNode(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+bool SimNetwork::LinkDown(NodeId a, NodeId b) const {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return links_down_.count(LinkKey(lo, hi)) > 0;
+}
+
+Micros SimNetwork::SampleLatency(const Message& msg) {
+  Micros latency = config_.base_latency_us;
+  if (config_.jitter_us > 0) {
+    latency += rng_.NextBounded(config_.jitter_us + 1);
+  }
+  if (config_.per_byte_us > 0.0) {
+    latency += static_cast<Micros>(config_.per_byte_us *
+                                   static_cast<double>(msg.ApproximateBytes()));
+  }
+  auto it = extra_delay_.find(LinkKey(msg.src, msg.dst));
+  if (it != extra_delay_.end()) latency += it->second;
+  return latency;
+}
+
+void SimNetwork::Send(Message msg) {
+  if (send_filter_ && !send_filter_(msg)) return;
+  stats_.messages_sent++;
+  stats_.bytes_sent += msg.ApproximateBytes();
+  stats_.per_type[msg.type]++;
+
+  if (crashed_.count(msg.src) > 0) {
+    stats_.messages_from_crashed++;
+    return;
+  }
+  if (LinkDown(msg.src, msg.dst)) {
+    stats_.messages_dropped++;
+    return;
+  }
+  if (config_.drop_probability > 0.0 &&
+      rng_.NextBernoulli(config_.drop_probability)) {
+    stats_.messages_dropped++;
+    return;
+  }
+
+  const Micros latency = SampleLatency(msg);
+  scheduler_->ScheduleAfter(latency, [this, m = std::move(msg)]() {
+    // Crash state is evaluated at delivery time: messages in flight toward
+    // a node that crashes meanwhile are lost, matching fail-stop semantics.
+    if (crashed_.count(m.dst) > 0) {
+      stats_.messages_to_crashed++;
+      return;
+    }
+    if (interceptor_ && !interceptor_(m)) {
+      stats_.messages_dropped++;
+      return;
+    }
+    auto it = handlers_.find(m.dst);
+    if (it == handlers_.end()) {
+      ECDB_LOG(kWarn, "message to unregistered node %u dropped", m.dst);
+      return;
+    }
+    stats_.messages_delivered++;
+    it->second(m);
+  });
+}
+
+void SimNetwork::CrashNode(NodeId node) { crashed_.insert(node); }
+
+void SimNetwork::RecoverNode(NodeId node) { crashed_.erase(node); }
+
+bool SimNetwork::IsCrashed(NodeId node) const {
+  return crashed_.count(node) > 0;
+}
+
+void SimNetwork::SetLinkDown(NodeId a, NodeId b, bool down) {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  if (down) {
+    links_down_.insert(LinkKey(lo, hi));
+  } else {
+    links_down_.erase(LinkKey(lo, hi));
+  }
+}
+
+void SimNetwork::SetExtraDelay(NodeId a, NodeId b, Micros extra_us) {
+  if (extra_us == 0) {
+    extra_delay_.erase(LinkKey(a, b));
+  } else {
+    extra_delay_[LinkKey(a, b)] = extra_us;
+  }
+}
+
+void SimNetwork::SetDeliveryInterceptor(DeliveryInterceptor interceptor) {
+  interceptor_ = std::move(interceptor);
+}
+
+void SimNetwork::SetSendFilter(SendFilter filter) {
+  send_filter_ = std::move(filter);
+}
+
+}  // namespace ecdb

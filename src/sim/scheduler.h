@@ -1,0 +1,78 @@
+#ifndef ECDB_SIM_SCHEDULER_H_
+#define ECDB_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecdb {
+
+/// Deterministic discrete-event scheduler: the heart of the simulated
+/// cluster. Events fire in (time, insertion-order) order, so two runs with
+/// the same seed replay identically. All simulated components (network
+/// delivery, worker completions, protocol timeouts, client arrivals) are
+/// events on one scheduler.
+class Scheduler {
+ public:
+  using TaskId = uint64_t;
+  using Task = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time in microseconds.
+  Micros Now() const { return now_; }
+
+  /// Schedules `task` to run at absolute simulated time `when` (clamped to
+  /// now). Returns an id usable with `Cancel`.
+  TaskId ScheduleAt(Micros when, Task task);
+
+  /// Schedules `task` to run `delay` microseconds from now.
+  TaskId ScheduleAfter(Micros delay, Task task);
+
+  /// Cancels a pending task. Returns false if it already ran or was
+  /// cancelled before.
+  bool Cancel(TaskId id);
+
+  /// Runs the next pending event, advancing the clock to its timestamp.
+  /// Returns false if no events remain.
+  bool RunOne();
+
+  /// Runs all events with timestamp <= `until`, then advances the clock to
+  /// `until`. Returns the number of events executed.
+  size_t RunUntil(Micros until);
+
+  /// Runs events until the queue drains or `max_events` executed.
+  /// Returns the number of events executed.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+
+  /// True when no runnable events remain.
+  bool Empty() const { return tasks_.empty(); }
+
+  /// Number of pending (non-cancelled) events.
+  size_t PendingCount() const { return tasks_.size(); }
+
+ private:
+  struct Entry {
+    Micros when;
+    TaskId id;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;  // FIFO among same-time events
+    }
+  };
+
+  Micros now_ = 0;
+  TaskId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_map<TaskId, Task> tasks_;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_SIM_SCHEDULER_H_

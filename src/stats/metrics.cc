@@ -1,0 +1,53 @@
+#include "stats/metrics.h"
+
+namespace ecdb {
+
+std::string ToString(TimeCategory category) {
+  switch (category) {
+    case TimeCategory::kUsefulWork:
+      return "Useful Work";
+    case TimeCategory::kTxnManager:
+      return "Txn Manager";
+    case TimeCategory::kIndex:
+      return "Index";
+    case TimeCategory::kAbort:
+      return "Abort";
+    case TimeCategory::kIdle:
+      return "Idle";
+    case TimeCategory::kCommit:
+      return "Commit";
+    case TimeCategory::kOverhead:
+      return "Overhead";
+  }
+  return "Unknown";
+}
+
+void NodeStats::Merge(const NodeStats& other) {
+  txns_committed += other.txns_committed;
+  txns_aborted += other.txns_aborted;
+  txns_blocked += other.txns_blocked;
+  commit_protocol_runs += other.commit_protocol_runs;
+  for (size_t i = 0; i < kNumTimeCategories; ++i) {
+    time_us[i] += other.time_us[i];
+  }
+  latency.Merge(other.latency);
+}
+
+void NodeStats::Clear() {
+  txns_committed = 0;
+  txns_aborted = 0;
+  txns_blocked = 0;
+  commit_protocol_runs = 0;
+  time_us.fill(0);
+  latency.Clear();
+}
+
+double ClusterStats::TimeFraction(TimeCategory category) const {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < kNumTimeCategories; ++i) sum += total.time_us[i];
+  if (sum == 0) return 0.0;
+  return static_cast<double>(total.TimeIn(category)) /
+         static_cast<double>(sum);
+}
+
+}  // namespace ecdb

@@ -1,0 +1,80 @@
+#ifndef ECDB_STATS_METRICS_H_
+#define ECDB_STATS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace ecdb {
+
+/// Where a simulated worker thread's time goes. The categories are the
+/// paper's Figure 12 breakdown, verbatim.
+enum class TimeCategory : uint8_t {
+  kUsefulWork,  // computation for read/write operations
+  kTxnManager,  // maintaining transaction-associated resources
+  kIndex,       // index access
+  kAbort,       // cleaning up aborted transactions
+  kIdle,        // worker has no task
+  kCommit,      // executing the commit protocol
+  kOverhead,    // fetching/cleaning the transaction table
+};
+
+inline constexpr size_t kNumTimeCategories = 7;
+
+/// Returns the paper's label, e.g. "Useful Work".
+std::string ToString(TimeCategory category);
+
+/// Per-node counters for one measurement window.
+struct NodeStats {
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;   // aborted attempts (restarted later)
+  uint64_t txns_blocked = 0;
+  uint64_t commit_protocol_runs = 0;
+
+  /// Microseconds of worker time per category (Figure 12).
+  std::array<uint64_t, kNumTimeCategories> time_us{};
+
+  /// End-to-end latency (first start to final commit) of committed
+  /// transactions, in microseconds.
+  Histogram latency;
+
+  void AddTime(TimeCategory category, uint64_t us) {
+    time_us[static_cast<size_t>(category)] += us;
+  }
+  uint64_t TimeIn(TimeCategory category) const {
+    return time_us[static_cast<size_t>(category)];
+  }
+
+  void Merge(const NodeStats& other);
+  void Clear();
+};
+
+/// Cluster-level result of a benchmark window.
+struct ClusterStats {
+  NodeStats total;               // merged over nodes
+  double duration_seconds = 0;   // measurement window length
+  uint32_t num_nodes = 0;
+
+  /// Committed transactions per second of (simulated) time.
+  double Throughput() const {
+    return duration_seconds > 0
+               ? static_cast<double>(total.txns_committed) / duration_seconds
+               : 0.0;
+  }
+
+  /// Aborted attempts per committed transaction.
+  double AbortRate() const {
+    const double c = static_cast<double>(total.txns_committed);
+    return c > 0 ? static_cast<double>(total.txns_aborted) / c : 0.0;
+  }
+
+  /// Fraction of worker time in `category`, over all categories.
+  double TimeFraction(TimeCategory category) const;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_STATS_METRICS_H_

@@ -1,0 +1,62 @@
+#include "storage/table.h"
+
+#include <utility>
+
+namespace ecdb {
+
+Table::Table(TableId id, std::string name, uint32_t num_columns)
+    : id_(id), name_(std::move(name)), num_columns_(num_columns) {}
+
+Status Table::Insert(Key key) {
+  return InsertWith(key, std::vector<uint64_t>(num_columns_, 0));
+}
+
+Status Table::InsertWith(Key key, std::vector<uint64_t> columns) {
+  columns.resize(num_columns_, 0);
+  Row row;
+  row.key = key;
+  row.columns = std::move(columns);
+  auto [it, inserted] = rows_.emplace(key, std::move(row));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("key already in table " + name_);
+  }
+  return Status::OK();
+}
+
+Result<const Row*> Table::Get(Key key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return Status::NotFound();
+  return &it->second;
+}
+
+Result<Row*> Table::GetMutable(Key key) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return Status::NotFound();
+  return &it->second;
+}
+
+Status Table::Erase(Key key) {
+  if (rows_.erase(key) == 0) return Status::NotFound();
+  return Status::OK();
+}
+
+Status PartitionStore::CreateTable(TableId id, const std::string& name,
+                                   uint32_t num_columns) {
+  auto [it, inserted] = tables_.emplace(id, Table(id, name, num_columns));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("table id in use");
+  return Status::OK();
+}
+
+Table* PartitionStore::GetTable(TableId id) {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const Table* PartitionStore::GetTable(TableId id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ecdb

@@ -1,0 +1,109 @@
+#ifndef ECDB_STORAGE_TABLE_H_
+#define ECDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/operation.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ecdb {
+
+/// A row: primary key plus fixed-width columns. The evaluation workloads
+/// never inspect payload bytes, so columns are modeled as 64-bit words; a
+/// YCSB row (10 x 100B fields) is simulated with configurable column count.
+struct Row {
+  Key key = 0;
+  std::vector<uint64_t> columns;
+
+  /// Bumped on every committed write; lets tests verify atomicity (all of a
+  /// transaction's writes applied or none).
+  uint64_t version = 0;
+};
+
+/// Hash-indexed in-memory table, single-partition. Not thread-safe: in both
+/// runtimes a partition is touched only by its owning node (shared-nothing),
+/// and the threaded runtime serializes access through the node's event loop.
+class Table {
+ public:
+  /// Creates a table whose rows have `num_columns` columns.
+  Table(TableId id, std::string name, uint32_t num_columns);
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  uint32_t num_columns() const { return num_columns_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Inserts a row with all columns zero. Fails with AlreadyExists.
+  Status Insert(Key key);
+
+  /// Inserts a row with the given column values (padded/truncated to the
+  /// schema width). Fails with AlreadyExists.
+  Status InsertWith(Key key, std::vector<uint64_t> columns);
+
+  /// Returns the row or NotFound. Pointer valid until the next Insert.
+  Result<const Row*> Get(Key key) const;
+
+  /// Mutable access for the execution engine. Returns NotFound if absent.
+  Result<Row*> GetMutable(Key key);
+
+  /// Removes a row; NotFound if absent.
+  Status Erase(Key key);
+
+ private:
+  TableId id_;
+  std::string name_;
+  uint32_t num_columns_;
+  std::unordered_map<Key, Row> rows_;
+};
+
+/// All tables owned by one partition. A node hosts exactly one partition in
+/// the paper's deployment (partition-per-server), which we mirror.
+class PartitionStore {
+ public:
+  explicit PartitionStore(PartitionId id) : id_(id) {}
+
+  PartitionId id() const { return id_; }
+
+  /// Creates a table; the same (id, schema) must be created on every
+  /// partition that stores a slice of it. Fails with AlreadyExists.
+  Status CreateTable(TableId id, const std::string& name,
+                     uint32_t num_columns);
+
+  /// Returns the table or nullptr.
+  Table* GetTable(TableId id);
+  const Table* GetTable(TableId id) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  PartitionId id_;
+  std::unordered_map<TableId, Table> tables_;
+};
+
+/// Maps a key to the partition that owns it. The paper's ExpoDB hashes keys
+/// to partitions; YCSB uses key % partitions and TPC-C partitions by
+/// warehouse. A `KeyPartitioner` captures that policy.
+class KeyPartitioner {
+ public:
+  explicit KeyPartitioner(uint32_t num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  uint32_t num_partitions() const { return num_partitions_; }
+
+  /// Default policy: modulo. Workloads that encode the partition into the
+  /// key (TPC-C warehouse id) arrange their key encoding so this is exact.
+  PartitionId PartitionOf(Key key) const {
+    return static_cast<PartitionId>(key % num_partitions_);
+  }
+
+ private:
+  uint32_t num_partitions_;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_STORAGE_TABLE_H_

@@ -1,0 +1,6 @@
+#include "txn/transaction.h"
+
+// Transaction state is plain data; this translation unit exists so the
+// module owns a compiled object and future helpers have a home.
+
+namespace ecdb {}  // namespace ecdb

@@ -1,0 +1,50 @@
+#ifndef ECDB_WAL_LOG_RECORD_H_
+#define ECDB_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecdb {
+
+/// Write-ahead-log entry kinds. The names follow the paper's algorithms
+/// verbatim (Figure 5 and the 2PC/3PC descriptions): each protocol writes a
+/// specific sequence of these, and the recovery manager's independent-
+/// recovery rules (Section 4.2) key off the last entry for a transaction.
+enum class LogRecordType : uint8_t {
+  kBeginCommit,        // coordinator: commit protocol started
+  kReady,              // cohort: voted commit
+  kPreCommit,          // 3PC: entered PRE-COMMIT
+  kCommitDecision,     // "global-commit-decision-reached" (coordinator / term leader)
+  kAbortDecision,      // "global-abort-decision-reached"
+  kCommitReceived,     // EC cohort: "global-commit-received"
+  kAbortReceived,      // EC cohort: "global-abort-received"
+  kTransactionCommit,  // transaction durably committed
+  kTransactionAbort,   // transaction durably aborted
+};
+
+/// Returns the paper's name for the entry, e.g.
+/// "global-commit-decision-reached".
+std::string ToString(LogRecordType type);
+
+/// One WAL entry. Entries are tiny and fixed-size: commit protocols log
+/// control-flow milestones, not data (the storage engine is in-memory, as
+/// in ExpoDB).
+struct LogRecord {
+  uint64_t lsn = 0;  // assigned by the log on append
+  TxnId txn = kInvalidTxn;
+  LogRecordType type = LogRecordType::kBeginCommit;
+
+  /// Participant list (coordinator first), recorded with begin_commit and
+  /// ready entries so a recovering node in the consult-peers case knows
+  /// whom to ask (Section 4.2 requires contacting other participants).
+  std::vector<NodeId> participants;
+
+  friend bool operator==(const LogRecord&, const LogRecord&) = default;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_WAL_LOG_RECORD_H_

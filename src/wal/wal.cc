@@ -1,0 +1,154 @@
+#include "wal/wal.h"
+
+#include <cstring>
+
+namespace ecdb {
+
+std::string ToString(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kBeginCommit:
+      return "begin_commit";
+    case LogRecordType::kReady:
+      return "ready";
+    case LogRecordType::kPreCommit:
+      return "pre-commit";
+    case LogRecordType::kCommitDecision:
+      return "global-commit-decision-reached";
+    case LogRecordType::kAbortDecision:
+      return "global-abort-decision-reached";
+    case LogRecordType::kCommitReceived:
+      return "global-commit-received";
+    case LogRecordType::kAbortReceived:
+      return "global-abort-received";
+    case LogRecordType::kTransactionCommit:
+      return "transaction-commit";
+    case LogRecordType::kTransactionAbort:
+      return "transaction-abort";
+  }
+  return "unknown";
+}
+
+uint64_t MemoryWal::Append(LogRecord record) {
+  record.lsn = records_.size() + 1;
+  records_.push_back(record);
+  return record.lsn;
+}
+
+std::vector<LogRecord> MemoryWal::Scan() const { return records_; }
+
+std::optional<LogRecord> MemoryWal::LastFor(TxnId txn) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->txn == txn) return *it;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// On-disk framing:
+// [magic u16][type u8][npart u8][txn u64][lsn u64][participants u32 x n]
+// [check u32]. `check` is a simple mix of the fields, enough to catch torn
+// writes at the tail.
+constexpr uint16_t kRecordMagic = 0xECDB;
+constexpr size_t kHeaderBytes = 2 + 1 + 1 + 8 + 8;
+
+uint32_t Checksum(const LogRecord& r) {
+  uint64_t h = r.txn * 0x9E3779B97f4A7C15ULL;
+  h ^= static_cast<uint64_t>(r.type) << 32;
+  h ^= r.lsn * 0xBF58476D1CE4E5B9ULL;
+  for (NodeId p : r.participants) {
+    h = (h ^ p) * 0x94D049BB133111EBULL;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+std::vector<unsigned char> EncodeRecord(const LogRecord& r) {
+  std::vector<unsigned char> out(kHeaderBytes + 4 * r.participants.size() + 4);
+  std::memcpy(out.data(), &kRecordMagic, 2);
+  out[2] = static_cast<unsigned char>(r.type);
+  out[3] = static_cast<unsigned char>(r.participants.size());
+  std::memcpy(out.data() + 4, &r.txn, 8);
+  std::memcpy(out.data() + 12, &r.lsn, 8);
+  size_t off = kHeaderBytes;
+  for (NodeId p : r.participants) {
+    uint32_t v = p;
+    std::memcpy(out.data() + off, &v, 4);
+    off += 4;
+  }
+  const uint32_t check = Checksum(r);
+  std::memcpy(out.data() + off, &check, 4);
+  return out;
+}
+
+// Reads one record from `file`; false on EOF or corruption.
+bool ReadRecord(std::FILE* file, LogRecord* out) {
+  unsigned char header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, file) != kHeaderBytes) return false;
+  uint16_t magic;
+  std::memcpy(&magic, header, 2);
+  if (magic != kRecordMagic) return false;
+  out->type = static_cast<LogRecordType>(header[2]);
+  const size_t npart = header[3];
+  std::memcpy(&out->txn, header + 4, 8);
+  std::memcpy(&out->lsn, header + 12, 8);
+  out->participants.clear();
+  for (size_t i = 0; i < npart; ++i) {
+    uint32_t v;
+    if (std::fread(&v, 1, 4, file) != 4) return false;
+    out->participants.push_back(v);
+  }
+  uint32_t check;
+  if (std::fread(&check, 1, 4, file) != 4) return false;
+  return check == Checksum(*out);
+}
+
+}  // namespace
+
+FileWal::FileWal(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+FileWal::~FileWal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<FileWal>> FileWal::Open(const std::string& path) {
+  // a+b: reads allowed anywhere, writes always append.
+  std::FILE* file = std::fopen(path.c_str(), "a+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL at " + path);
+  }
+  auto wal = std::unique_ptr<FileWal>(new FileWal(path, file));
+
+  // Replay existing records; stop at the first torn/corrupt frame.
+  std::fseek(file, 0, SEEK_SET);
+  LogRecord record;
+  while (ReadRecord(file, &record)) {
+    wal->records_.push_back(record);
+  }
+  std::fseek(file, 0, SEEK_END);
+  return wal;
+}
+
+uint64_t FileWal::Append(LogRecord record) {
+  record.lsn = records_.size() + 1;
+  const std::vector<unsigned char> buf = EncodeRecord(record);
+  std::fwrite(buf.data(), 1, buf.size(), file_);
+  records_.push_back(record);
+  return record.lsn;
+}
+
+std::vector<LogRecord> FileWal::Scan() const { return records_; }
+
+std::optional<LogRecord> FileWal::LastFor(TxnId txn) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->txn == txn) return *it;
+  }
+  return std::nullopt;
+}
+
+Status FileWal::Sync() {
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+}  // namespace ecdb

@@ -1,0 +1,89 @@
+#ifndef ECDB_WAL_WAL_H_
+#define ECDB_WAL_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/log_record.h"
+
+namespace ecdb {
+
+/// Abstract write-ahead log. One instance per node; commit protocols append
+/// their milestone entries here before acting (write-ahead rule), and the
+/// recovery manager scans it after a restart.
+class WriteAheadLog {
+ public:
+  virtual ~WriteAheadLog() = default;
+
+  /// Appends `record`, assigns and returns its LSN (monotonic from 1).
+  virtual uint64_t Append(LogRecord record) = 0;
+
+  /// Returns every record in append order.
+  virtual std::vector<LogRecord> Scan() const = 0;
+
+  /// Returns the last record logged for `txn`, if any. This is the input
+  /// to the independent-recovery decision.
+  virtual std::optional<LogRecord> LastFor(TxnId txn) const = 0;
+
+  /// Number of appended records.
+  virtual uint64_t Size() const = 0;
+};
+
+/// In-memory WAL used by the simulator. Survives simulated node crashes
+/// (the simulator keeps the object alive across crash/recover), which
+/// models stable storage exactly as the paper assumes.
+class MemoryWal : public WriteAheadLog {
+ public:
+  MemoryWal() = default;
+
+  uint64_t Append(LogRecord record) override;
+  std::vector<LogRecord> Scan() const override;
+  std::optional<LogRecord> LastFor(TxnId txn) const override;
+  uint64_t Size() const override { return records_.size(); }
+
+  /// Drops all records; used when a test re-initializes stable storage.
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+/// File-backed WAL with a fixed-width binary record format and CRC-style
+/// framing check. Used by the threaded runtime examples to demonstrate
+/// recovery from an on-disk log.
+class FileWal : public WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log at `path` and replays existing
+  /// records into the in-memory index.
+  static Result<std::unique_ptr<FileWal>> Open(const std::string& path);
+
+  ~FileWal() override;
+
+  FileWal(const FileWal&) = delete;
+  FileWal& operator=(const FileWal&) = delete;
+
+  uint64_t Append(LogRecord record) override;
+  std::vector<LogRecord> Scan() const override;
+  std::optional<LogRecord> LastFor(TxnId txn) const override;
+  uint64_t Size() const override { return records_.size(); }
+
+  /// Flushes buffered appends to the OS.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit FileWal(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_;
+  std::vector<LogRecord> records_;  // in-memory mirror for Scan/LastFor
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_WAL_WAL_H_

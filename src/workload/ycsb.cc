@@ -1,0 +1,65 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ecdb {
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config)
+    : config_(config), zipf_(config.rows_per_partition, config.theta) {
+  ECDB_CHECK(config_.partitions_per_txn >= 1);
+  ECDB_CHECK(config_.partitions_per_txn <= config_.num_partitions);
+  ECDB_CHECK(config_.ops_per_txn >= config_.partitions_per_txn);
+  // Distinct-key sampling must be able to terminate.
+  ECDB_CHECK(config_.rows_per_partition >= config_.ops_per_txn);
+}
+
+void YcsbWorkload::LoadPartition(PartitionStore* store,
+                                 const KeyPartitioner& partitioner) {
+  ECDB_CHECK(partitioner.num_partitions() == config_.num_partitions);
+  ECDB_CHECK(store->CreateTable(kTableId, "usertable", config_.columns).ok());
+  Table* table = store->GetTable(kTableId);
+  for (uint64_t row = 0; row < config_.rows_per_partition; ++row) {
+    ECDB_CHECK(table->Insert(EncodeKey(store->id(), row)).ok());
+  }
+}
+
+TxnRequest YcsbWorkload::NextTxn(PartitionId home, Rng& rng) {
+  // Choose the partitions: home first, then distinct others.
+  std::vector<PartitionId> parts;
+  parts.reserve(config_.partitions_per_txn);
+  parts.push_back(home);
+  while (parts.size() < config_.partitions_per_txn) {
+    const PartitionId p =
+        static_cast<PartitionId>(rng.NextBounded(config_.num_partitions));
+    if (std::find(parts.begin(), parts.end(), p) == parts.end()) {
+      parts.push_back(p);
+    }
+  }
+
+  // Operations round-robin across partitions; each transaction accesses
+  // distinct keys (YCSB rows are picked Zipfian within the partition).
+  TxnRequest request;
+  request.ops.reserve(config_.ops_per_txn);
+  for (uint32_t i = 0; i < config_.ops_per_txn; ++i) {
+    const PartitionId part = parts[i % parts.size()];
+    Operation op;
+    op.table = kTableId;
+    op.mode = rng.NextBernoulli(config_.write_fraction) ? AccessMode::kWrite
+                                                        : AccessMode::kRead;
+    // Retry until the key is new to this transaction; duplicates would
+    // make lock acquisition order-dependent without adding contention.
+    for (;;) {
+      op.key = EncodeKey(part, zipf_.Next(rng));
+      const bool dup =
+          std::any_of(request.ops.begin(), request.ops.end(),
+                      [&](const Operation& o) { return o.key == op.key; });
+      if (!dup) break;
+    }
+    request.ops.push_back(op);
+  }
+  return request;
+}
+
+}  // namespace ecdb

@@ -1,0 +1,143 @@
+// Tests for the threaded-runtime message channel and router.
+
+#include "net/channel.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace ecdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message Make(NodeId src, NodeId dst) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.txn = MakeTxnId(src, 1);
+  return m;
+}
+
+TEST(MessageChannelTest, PushPop) {
+  MessageChannel ch;
+  ch.Push(Make(0, 1));
+  Message out;
+  ASSERT_TRUE(ch.Pop(&out, 100ms));
+  EXPECT_EQ(out.src, 0u);
+  EXPECT_EQ(ch.Size(), 0u);
+}
+
+TEST(MessageChannelTest, PopTimesOutWhenEmpty) {
+  MessageChannel ch;
+  Message out;
+  EXPECT_FALSE(ch.Pop(&out, 10ms));
+}
+
+TEST(MessageChannelTest, TryPop) {
+  MessageChannel ch;
+  Message out;
+  EXPECT_FALSE(ch.TryPop(&out));
+  ch.Push(Make(0, 1));
+  EXPECT_TRUE(ch.TryPop(&out));
+  EXPECT_FALSE(ch.TryPop(&out));
+}
+
+TEST(MessageChannelTest, FifoOrder) {
+  MessageChannel ch;
+  for (uint32_t i = 0; i < 10; ++i) {
+    Message m = Make(i, 0);
+    ch.Push(std::move(m));
+  }
+  Message out;
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ch.TryPop(&out));
+    EXPECT_EQ(out.src, i);
+  }
+}
+
+TEST(MessageChannelTest, CloseWakesBlockedConsumer) {
+  MessageChannel ch;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    Message out;
+    ch.Pop(&out, 5000ms);
+    returned = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  ch.Close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(MessageChannelTest, PushAfterCloseIsDropped) {
+  MessageChannel ch;
+  ch.Close();
+  ch.Push(Make(0, 1));
+  EXPECT_EQ(ch.Size(), 0u);
+}
+
+TEST(MessageChannelTest, ConcurrentProducersDeliverEverything) {
+  MessageChannel ch;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.Push(Make(static_cast<NodeId>(p), 0));
+      }
+    });
+  }
+  int received = 0;
+  Message out;
+  while (received < kProducers * kPerProducer) {
+    if (ch.Pop(&out, 1000ms)) received++;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(received, kProducers * kPerProducer);
+}
+
+TEST(ThreadNetworkTest, RoutesByDestination) {
+  ThreadNetwork net(3);
+  net.Send(Make(0, 2));
+  Message out;
+  ASSERT_TRUE(net.channel(2).Pop(&out, 100ms));
+  EXPECT_EQ(out.src, 0u);
+  EXPECT_EQ(net.channel(1).Size(), 0u);
+}
+
+TEST(ThreadNetworkTest, CrashedNodesDropTraffic) {
+  ThreadNetwork net(3);
+  net.CrashNode(1);
+  net.Send(Make(0, 1));  // to crashed
+  net.Send(Make(1, 2));  // from crashed
+  EXPECT_EQ(net.channel(1).Size(), 0u);
+  EXPECT_EQ(net.channel(2).Size(), 0u);
+  EXPECT_TRUE(net.IsCrashed(1));
+}
+
+TEST(ThreadNetworkTest, RecoverRestoresDelivery) {
+  ThreadNetwork net(2);
+  net.CrashNode(1);
+  net.RecoverNode(1);
+  net.Send(Make(0, 1));
+  EXPECT_EQ(net.channel(1).Size(), 1u);
+}
+
+TEST(ThreadNetworkTest, OutOfRangeDestinationIsDropped) {
+  ThreadNetwork net(2);
+  net.Send(Make(0, 9));  // must not crash
+}
+
+TEST(ThreadNetworkTest, ShutdownClosesAllChannels) {
+  ThreadNetwork net(2);
+  net.Shutdown();
+  Message out;
+  EXPECT_FALSE(net.channel(0).Pop(&out, 10ms));
+  EXPECT_FALSE(net.channel(1).Pop(&out, 10ms));
+}
+
+}  // namespace
+}  // namespace ecdb

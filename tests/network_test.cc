@@ -1,0 +1,223 @@
+// Unit tests for the simulated network and its fault injection.
+
+#include "net/network.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+
+namespace ecdb {
+namespace {
+
+Message Make(NodeId src, NodeId dst, MsgType type = MsgType::kPrepare) {
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.txn = MakeTxnId(src, 1);
+  return m;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&sched_, Config(), 42) {
+    for (NodeId id = 0; id < 4; ++id) {
+      net_.RegisterNode(id, [this, id](const Message& msg) {
+        received_.emplace_back(id, msg);
+      });
+    }
+  }
+
+  static NetworkConfig Config() {
+    NetworkConfig cfg;
+    cfg.base_latency_us = 100;
+    cfg.jitter_us = 50;
+    return cfg;
+  }
+
+  Scheduler sched_;
+  SimNetwork net_;
+  std::vector<std::pair<NodeId, Message>> received_;
+};
+
+TEST_F(NetworkTest, DeliversToDestination) {
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].first, 1u);
+  EXPECT_EQ(received_[0].second.src, 0u);
+}
+
+TEST_F(NetworkTest, DeliveryRespectsLatencyBounds) {
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  EXPECT_GE(sched_.Now(), 100u);
+  EXPECT_LE(sched_.Now(), 150u);
+}
+
+TEST_F(NetworkTest, CrashedDestinationDropsInFlightMessage) {
+  net_.Send(Make(0, 1));
+  net_.CrashNode(1);  // crash while in flight
+  sched_.RunAll();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_.stats().messages_to_crashed, 1u);
+}
+
+TEST_F(NetworkTest, CrashedSourceCannotSend) {
+  net_.CrashNode(0);
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_.stats().messages_from_crashed, 1u);
+}
+
+TEST_F(NetworkTest, RecoveredNodeReceivesAgain) {
+  net_.CrashNode(1);
+  net_.RecoverNode(1);
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  EXPECT_EQ(received_.size(), 1u);
+  EXPECT_FALSE(net_.IsCrashed(1));
+}
+
+TEST_F(NetworkTest, LinkDownDropsBothDirections) {
+  net_.SetLinkDown(0, 1, true);
+  net_.Send(Make(0, 1));
+  net_.Send(Make(1, 0));
+  net_.Send(Make(0, 2));  // unaffected
+  sched_.RunAll();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].first, 2u);
+}
+
+TEST_F(NetworkTest, LinkRestoredDelivers) {
+  net_.SetLinkDown(0, 1, true);
+  net_.SetLinkDown(0, 1, false);
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(NetworkTest, ExtraDelayIsDirectional) {
+  net_.SetExtraDelay(0, 1, 10'000);
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  EXPECT_GE(sched_.Now(), 10'100u);
+
+  received_.clear();
+  const Micros before = sched_.Now();
+  net_.Send(Make(1, 0));  // reverse direction unaffected
+  sched_.RunAll();
+  EXPECT_LE(sched_.Now() - before, 150u);
+}
+
+TEST_F(NetworkTest, InterceptorCanDropMessages) {
+  net_.SetDeliveryInterceptor(
+      [](const Message& msg) { return msg.dst != 2; });
+  net_.Send(Make(0, 2));
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].first, 1u);
+}
+
+TEST_F(NetworkTest, SendFilterSuppressesAtSendTime) {
+  net_.SetSendFilter([](const Message& msg) { return msg.dst != 3; });
+  net_.Send(Make(0, 3));
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  ASSERT_EQ(received_.size(), 1u);
+  // Suppressed sends are not even counted as sent.
+  EXPECT_EQ(net_.stats().messages_sent, 1u);
+}
+
+TEST_F(NetworkTest, StatsCountPerType) {
+  net_.Send(Make(0, 1, MsgType::kPrepare));
+  net_.Send(Make(0, 2, MsgType::kPrepare));
+  net_.Send(Make(1, 0, MsgType::kVoteCommit));
+  sched_.RunAll();
+  EXPECT_EQ(net_.stats().messages_sent, 3u);
+  EXPECT_EQ(net_.stats().messages_delivered, 3u);
+  EXPECT_EQ(net_.stats().per_type.at(MsgType::kPrepare), 2u);
+  EXPECT_EQ(net_.stats().per_type.at(MsgType::kVoteCommit), 1u);
+}
+
+TEST_F(NetworkTest, ResetStatsClears) {
+  net_.Send(Make(0, 1));
+  sched_.RunAll();
+  net_.ResetStats();
+  EXPECT_EQ(net_.stats().messages_sent, 0u);
+  EXPECT_EQ(net_.stats().messages_delivered, 0u);
+}
+
+TEST(NetworkLossTest, DropProbabilityLosesMessages) {
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.base_latency_us = 10;
+  cfg.jitter_us = 0;
+  cfg.drop_probability = 0.5;
+  SimNetwork net(&sched, cfg, 1);
+  int delivered = 0;
+  net.RegisterNode(1, [&](const Message&) { delivered++; });
+  for (int i = 0; i < 1000; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    net.Send(m);
+  }
+  sched.RunAll();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+  EXPECT_EQ(net.stats().messages_dropped + delivered, 1000u);
+}
+
+TEST(NetworkBytesTest, PerByteCostSlowsLargeMessages) {
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.base_latency_us = 10;
+  cfg.jitter_us = 0;
+  cfg.per_byte_us = 1.0;
+  SimNetwork net(&sched, cfg, 1);
+  Micros small_time = 0, large_time = 0;
+  net.RegisterNode(1, [&](const Message&) { small_time = sched.Now(); });
+
+  Message small;
+  small.src = 0;
+  small.dst = 1;
+  net.Send(small);
+  sched.RunAll();
+
+  net.RegisterNode(1, [&](const Message&) { large_time = sched.Now(); });
+  Message large;
+  large.src = 0;
+  large.dst = 1;
+  large.participants.assign(64, 0);
+  const Micros start = sched.Now();
+  net.Send(large);
+  sched.RunAll();
+  EXPECT_GT(large_time - start, small_time);
+}
+
+TEST(NetworkMessageTest, ApproximateBytesGrowsWithPayload) {
+  Message m;
+  const size_t base = m.ApproximateBytes();
+  m.participants = {1, 2, 3, 4};
+  EXPECT_GT(m.ApproximateBytes(), base);
+  const size_t with_parts = m.ApproximateBytes();
+  m.ops.resize(10);
+  EXPECT_GT(m.ApproximateBytes(), with_parts);
+}
+
+TEST(NetworkMessageTest, ToStringCoversAllTypes) {
+  EXPECT_EQ(ToString(MsgType::kPrepare), "Prepare");
+  EXPECT_EQ(ToString(MsgType::kGlobalCommit), "GlobalCommit");
+  EXPECT_EQ(ToString(MsgType::kTermStateReply), "TermStateReply");
+  EXPECT_EQ(ToString(MsgType::kRemoteRollback), "RemoteRollback");
+  EXPECT_EQ(ToString(CohortState::kTransmitC), "TRANSMIT-C");
+  EXPECT_EQ(ToString(CohortState::kPreCommit), "PRE-COMMIT");
+}
+
+}  // namespace
+}  // namespace ecdb

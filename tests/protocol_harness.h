@@ -1,0 +1,17 @@
+#ifndef ECDB_TESTS_PROTOCOL_HARNESS_H_
+#define ECDB_TESTS_PROTOCOL_HARNESS_H_
+
+// The protocol harness lives in the library (commit/testbed.h) so that
+// benchmarks and downstream users can script failure scenarios too; tests
+// keep their historical include path and namespace alias.
+
+#include "commit/testbed.h"
+
+namespace ecdb {
+namespace testing {
+using ecdb::testbed::ProtocolHost;
+using ecdb::testbed::ProtocolTestbed;
+}  // namespace testing
+}  // namespace ecdb
+
+#endif  // ECDB_TESTS_PROTOCOL_HARNESS_H_

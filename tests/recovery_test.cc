@@ -1,0 +1,96 @@
+// Tests for the Section 4.2 independent-recovery analysis.
+
+#include "commit/recovery.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ecdb {
+namespace {
+
+TEST(RecoveryRulesTest, NoEntryAborts) {
+  // Rule (i): failed before voting -> abort on recovery.
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(std::nullopt),
+            RecoveryAction::kAbort);
+}
+
+TEST(RecoveryRulesTest, BeginCommitAborts) {
+  // Rule (ii): coordinator failed before reaching a decision.
+  LogRecord r{1, 7, LogRecordType::kBeginCommit, {}};
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(r), RecoveryAction::kAbort);
+}
+
+TEST(RecoveryRulesTest, ReadyConsultsPeers) {
+  // Voted commit, outcome unknown: the case where no protocol has
+  // independent recovery.
+  LogRecord r{1, 7, LogRecordType::kReady, {0, 1, 2}};
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(r),
+            RecoveryAction::kConsultPeers);
+}
+
+TEST(RecoveryRulesTest, PreCommitConsultsPeers) {
+  LogRecord r{1, 7, LogRecordType::kPreCommit, {}};
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(r),
+            RecoveryAction::kConsultPeers);
+}
+
+TEST(RecoveryRulesTest, DecisionEntriesFollowDecision) {
+  // Rule (iii): the logged decision drives recovery.
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(
+                LogRecord{1, 7, LogRecordType::kCommitDecision, {}}),
+            RecoveryAction::kCommit);
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(
+                LogRecord{1, 7, LogRecordType::kAbortDecision, {}}),
+            RecoveryAction::kAbort);
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(
+                LogRecord{1, 7, LogRecordType::kCommitReceived, {}}),
+            RecoveryAction::kCommit);
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(
+                LogRecord{1, 7, LogRecordType::kAbortReceived, {}}),
+            RecoveryAction::kAbort);
+}
+
+TEST(RecoveryRulesTest, TerminalEntriesAreIdempotent) {
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(
+                LogRecord{1, 7, LogRecordType::kTransactionCommit, {}}),
+            RecoveryAction::kCommit);
+  EXPECT_EQ(RecoveryManager::AnalyzeRecord(
+                LogRecord{1, 7, LogRecordType::kTransactionAbort, {}}),
+            RecoveryAction::kAbort);
+}
+
+TEST(RecoveryScanTest, InFlightExcludesTerminated) {
+  MemoryWal wal;
+  // txn 1: fully committed. txn 2: stuck in READY. txn 3: decision logged
+  // but not applied. txn 4: aborted.
+  wal.Append({0, 1, LogRecordType::kReady, {}});
+  wal.Append({0, 1, LogRecordType::kCommitReceived, {}});
+  wal.Append({0, 1, LogRecordType::kTransactionCommit, {}});
+  wal.Append({0, 2, LogRecordType::kReady, {}});
+  wal.Append({0, 3, LogRecordType::kBeginCommit, {}});
+  wal.Append({0, 3, LogRecordType::kCommitDecision, {}});
+  wal.Append({0, 4, LogRecordType::kTransactionAbort, {}});
+
+  auto in_flight = RecoveryManager::InFlightTxns(wal);
+  std::sort(in_flight.begin(), in_flight.end());
+  EXPECT_EQ(in_flight, (std::vector<TxnId>{2, 3}));
+}
+
+TEST(RecoveryScanTest, EmptyWalHasNoInFlight) {
+  MemoryWal wal;
+  EXPECT_TRUE(RecoveryManager::InFlightTxns(wal).empty());
+}
+
+TEST(RecoveryScanTest, AnalyzeUsesLastEntry) {
+  MemoryWal wal;
+  wal.Append({0, 7, LogRecordType::kReady, {}});
+  EXPECT_EQ(RecoveryManager::Analyze(wal, 7),
+            RecoveryAction::kConsultPeers);
+  wal.Append({0, 7, LogRecordType::kCommitReceived, {}});
+  EXPECT_EQ(RecoveryManager::Analyze(wal, 7), RecoveryAction::kCommit);
+  EXPECT_EQ(RecoveryManager::Analyze(wal, 99), RecoveryAction::kAbort);
+}
+
+}  // namespace
+}  // namespace ecdb

@@ -1,0 +1,152 @@
+// Unit tests for the discrete-event scheduler.
+
+#include "sim/scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ecdb {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.Now(), 0u);
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(30, [&] { order.push_back(3); });
+  s.ScheduleAt(10, [&] { order.push_back(1); });
+  s.ScheduleAt(20, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30u);
+}
+
+TEST(SchedulerTest, SameTimeEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  s.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, ClockAdvancesToEventTime) {
+  Scheduler s;
+  Micros seen = 0;
+  s.ScheduleAfter(100, [&] { seen = s.Now(); });
+  s.RunOne();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SchedulerTest, ScheduleAfterIsRelative) {
+  Scheduler s;
+  s.ScheduleAt(50, [] {});
+  s.RunOne();
+  Micros seen = 0;
+  s.ScheduleAfter(25, [&] { seen = s.Now(); });
+  s.RunOne();
+  EXPECT_EQ(seen, 75u);
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  Scheduler s;
+  s.ScheduleAt(100, [] {});
+  s.RunOne();
+  Micros seen = 0;
+  s.ScheduleAt(10, [&] { seen = s.Now(); });  // in the past
+  s.RunOne();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const auto id = s.ScheduleAfter(10, [&] { ran = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelReturnsFalseTwice) {
+  Scheduler s;
+  const auto id = s.ScheduleAfter(10, [] {});
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SchedulerTest, CancelAfterRunReturnsFalse) {
+  Scheduler s;
+  const auto id = s.ScheduleAfter(10, [] {});
+  s.RunAll();
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SchedulerTest, RunUntilExecutesOnlyDueEvents) {
+  Scheduler s;
+  int ran = 0;
+  s.ScheduleAt(10, [&] { ran++; });
+  s.ScheduleAt(20, [&] { ran++; });
+  s.ScheduleAt(30, [&] { ran++; });
+  EXPECT_EQ(s.RunUntil(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.Now(), 20u);
+  EXPECT_EQ(s.PendingCount(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.RunUntil(500);
+  EXPECT_EQ(s.Now(), 500u);
+}
+
+TEST(SchedulerTest, RunUntilSkipsCancelledHead) {
+  Scheduler s;
+  bool ran = false;
+  const auto id = s.ScheduleAt(10, [] {});
+  s.ScheduleAt(20, [&] { ran = true; });
+  s.Cancel(id);
+  EXPECT_EQ(s.RunUntil(25), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<Micros> times;
+  std::function<void()> chain = [&] {
+    times.push_back(s.Now());
+    if (times.size() < 5) s.ScheduleAfter(10, chain);
+  };
+  s.ScheduleAfter(10, chain);
+  s.RunAll();
+  EXPECT_EQ(times, (std::vector<Micros>{10, 20, 30, 40, 50}));
+}
+
+TEST(SchedulerTest, RunAllHonorsEventCap) {
+  Scheduler s;
+  std::function<void()> forever = [&] { s.ScheduleAfter(1, forever); };
+  s.ScheduleAfter(1, forever);
+  EXPECT_EQ(s.RunAll(100), 100u);
+}
+
+TEST(SchedulerTest, RunOneReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.RunOne());
+}
+
+TEST(SchedulerTest, PendingCountExcludesCancelled) {
+  Scheduler s;
+  const auto a = s.ScheduleAfter(1, [] {});
+  s.ScheduleAfter(2, [] {});
+  EXPECT_EQ(s.PendingCount(), 2u);
+  s.Cancel(a);
+  EXPECT_EQ(s.PendingCount(), 1u);
+}
+
+}  // namespace
+}  // namespace ecdb

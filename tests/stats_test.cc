@@ -1,0 +1,102 @@
+// Tests for the metrics / time-breakdown accounting.
+
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ecdb {
+namespace {
+
+TEST(TimeCategoryTest, PaperLabels) {
+  EXPECT_EQ(ToString(TimeCategory::kUsefulWork), "Useful Work");
+  EXPECT_EQ(ToString(TimeCategory::kTxnManager), "Txn Manager");
+  EXPECT_EQ(ToString(TimeCategory::kIndex), "Index");
+  EXPECT_EQ(ToString(TimeCategory::kAbort), "Abort");
+  EXPECT_EQ(ToString(TimeCategory::kIdle), "Idle");
+  EXPECT_EQ(ToString(TimeCategory::kCommit), "Commit");
+  EXPECT_EQ(ToString(TimeCategory::kOverhead), "Overhead");
+}
+
+TEST(NodeStatsTest, AddAndReadTime) {
+  NodeStats stats;
+  stats.AddTime(TimeCategory::kCommit, 100);
+  stats.AddTime(TimeCategory::kCommit, 50);
+  EXPECT_EQ(stats.TimeIn(TimeCategory::kCommit), 150u);
+  EXPECT_EQ(stats.TimeIn(TimeCategory::kAbort), 0u);
+}
+
+TEST(NodeStatsTest, MergeCombinesEverything) {
+  NodeStats a, b;
+  a.txns_committed = 10;
+  a.txns_aborted = 2;
+  a.AddTime(TimeCategory::kUsefulWork, 100);
+  a.latency.Record(500);
+  b.txns_committed = 5;
+  b.txns_blocked = 1;
+  b.commit_protocol_runs = 4;
+  b.AddTime(TimeCategory::kUsefulWork, 50);
+  b.AddTime(TimeCategory::kIdle, 10);
+  b.latency.Record(700);
+  a.Merge(b);
+  EXPECT_EQ(a.txns_committed, 15u);
+  EXPECT_EQ(a.txns_aborted, 2u);
+  EXPECT_EQ(a.txns_blocked, 1u);
+  EXPECT_EQ(a.commit_protocol_runs, 4u);
+  EXPECT_EQ(a.TimeIn(TimeCategory::kUsefulWork), 150u);
+  EXPECT_EQ(a.TimeIn(TimeCategory::kIdle), 10u);
+  EXPECT_EQ(a.latency.count(), 2u);
+}
+
+TEST(NodeStatsTest, ClearResets) {
+  NodeStats stats;
+  stats.txns_committed = 3;
+  stats.AddTime(TimeCategory::kAbort, 9);
+  stats.latency.Record(1);
+  stats.Clear();
+  EXPECT_EQ(stats.txns_committed, 0u);
+  EXPECT_EQ(stats.TimeIn(TimeCategory::kAbort), 0u);
+  EXPECT_EQ(stats.latency.count(), 0u);
+}
+
+TEST(ClusterStatsTest, Throughput) {
+  ClusterStats stats;
+  stats.total.txns_committed = 5000;
+  stats.duration_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(stats.Throughput(), 2500.0);
+}
+
+TEST(ClusterStatsTest, ThroughputWithZeroDuration) {
+  ClusterStats stats;
+  stats.total.txns_committed = 5;
+  EXPECT_DOUBLE_EQ(stats.Throughput(), 0.0);
+}
+
+TEST(ClusterStatsTest, AbortRate) {
+  ClusterStats stats;
+  stats.total.txns_committed = 100;
+  stats.total.txns_aborted = 25;
+  EXPECT_DOUBLE_EQ(stats.AbortRate(), 0.25);
+  ClusterStats empty;
+  EXPECT_DOUBLE_EQ(empty.AbortRate(), 0.0);
+}
+
+TEST(ClusterStatsTest, TimeFractionsSumToOne) {
+  ClusterStats stats;
+  stats.total.AddTime(TimeCategory::kUsefulWork, 30);
+  stats.total.AddTime(TimeCategory::kCommit, 50);
+  stats.total.AddTime(TimeCategory::kIdle, 20);
+  double sum = 0;
+  for (size_t i = 0; i < kNumTimeCategories; ++i) {
+    sum += stats.TimeFraction(static_cast<TimeCategory>(i));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.TimeFraction(TimeCategory::kCommit), 0.5);
+}
+
+TEST(ClusterStatsTest, TimeFractionOfEmptyIsZero) {
+  ClusterStats stats;
+  EXPECT_DOUBLE_EQ(stats.TimeFraction(TimeCategory::kIdle), 0.0);
+}
+
+}  // namespace
+}  // namespace ecdb

@@ -1,0 +1,112 @@
+// Unit tests for the in-memory partitioned row store.
+
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ecdb {
+namespace {
+
+TEST(TableTest, InsertAndGet) {
+  Table t(0, "t", 4);
+  ASSERT_TRUE(t.Insert(10).ok());
+  auto row = t.Get(10);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value()->key, 10u);
+  EXPECT_EQ(row.value()->columns.size(), 4u);
+  EXPECT_EQ(row.value()->version, 0u);
+}
+
+TEST(TableTest, DuplicateInsertFails) {
+  Table t(0, "t", 2);
+  ASSERT_TRUE(t.Insert(1).ok());
+  EXPECT_EQ(t.Insert(1).code(), Code::kAlreadyExists);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, GetMissingIsNotFound) {
+  Table t(0, "t", 2);
+  EXPECT_TRUE(t.Get(99).status().IsNotFound());
+}
+
+TEST(TableTest, InsertWithValuesPadsToSchema) {
+  Table t(0, "t", 4);
+  ASSERT_TRUE(t.InsertWith(5, {7, 8}).ok());
+  auto row = t.Get(5);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value()->columns, (std::vector<uint64_t>{7, 8, 0, 0}));
+}
+
+TEST(TableTest, InsertWithValuesTruncatesToSchema) {
+  Table t(0, "t", 2);
+  ASSERT_TRUE(t.InsertWith(5, {1, 2, 3, 4}).ok());
+  EXPECT_EQ(t.Get(5).value()->columns.size(), 2u);
+}
+
+TEST(TableTest, MutableUpdatePersists) {
+  Table t(0, "t", 2);
+  ASSERT_TRUE(t.Insert(3).ok());
+  auto row = t.GetMutable(3);
+  ASSERT_TRUE(row.ok());
+  row.value()->columns[0] = 42;
+  row.value()->version++;
+  EXPECT_EQ(t.Get(3).value()->columns[0], 42u);
+  EXPECT_EQ(t.Get(3).value()->version, 1u);
+}
+
+TEST(TableTest, EraseRemovesRow) {
+  Table t(0, "t", 2);
+  ASSERT_TRUE(t.Insert(3).ok());
+  EXPECT_TRUE(t.Erase(3).ok());
+  EXPECT_TRUE(t.Get(3).status().IsNotFound());
+  EXPECT_TRUE(t.Erase(3).IsNotFound());
+}
+
+TEST(TableTest, Metadata) {
+  Table t(9, "usertable", 10);
+  EXPECT_EQ(t.id(), 9u);
+  EXPECT_EQ(t.name(), "usertable");
+  EXPECT_EQ(t.num_columns(), 10u);
+}
+
+TEST(PartitionStoreTest, CreateAndGetTable) {
+  PartitionStore store(3);
+  ASSERT_TRUE(store.CreateTable(0, "a", 2).ok());
+  ASSERT_TRUE(store.CreateTable(1, "b", 3).ok());
+  EXPECT_EQ(store.id(), 3u);
+  EXPECT_EQ(store.num_tables(), 2u);
+  ASSERT_NE(store.GetTable(1), nullptr);
+  EXPECT_EQ(store.GetTable(1)->name(), "b");
+  EXPECT_EQ(store.GetTable(7), nullptr);
+}
+
+TEST(PartitionStoreTest, DuplicateTableIdFails) {
+  PartitionStore store(0);
+  ASSERT_TRUE(store.CreateTable(0, "a", 2).ok());
+  EXPECT_EQ(store.CreateTable(0, "b", 2).code(), Code::kAlreadyExists);
+}
+
+TEST(PartitionStoreTest, ConstAccess) {
+  PartitionStore store(0);
+  ASSERT_TRUE(store.CreateTable(0, "a", 2).ok());
+  const PartitionStore& cref = store;
+  EXPECT_NE(cref.GetTable(0), nullptr);
+  EXPECT_EQ(cref.GetTable(1), nullptr);
+}
+
+TEST(KeyPartitionerTest, ModuloRouting) {
+  KeyPartitioner p(8);
+  EXPECT_EQ(p.num_partitions(), 8u);
+  EXPECT_EQ(p.PartitionOf(0), 0u);
+  EXPECT_EQ(p.PartitionOf(7), 7u);
+  EXPECT_EQ(p.PartitionOf(8), 0u);
+  EXPECT_EQ(p.PartitionOf(8001), 1u);
+}
+
+TEST(KeyPartitionerTest, SinglePartition) {
+  KeyPartitioner p(1);
+  for (Key k = 0; k < 100; ++k) EXPECT_EQ(p.PartitionOf(k), 0u);
+}
+
+}  // namespace
+}  // namespace ecdb

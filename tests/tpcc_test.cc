@@ -1,0 +1,215 @@
+// Unit tests for the TPC-C (Payment + NewOrder) workload.
+
+#include "workload/tpcc.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace ecdb {
+namespace {
+
+TpccConfig SmallConfig() {
+  TpccConfig cfg;
+  cfg.num_partitions = 4;
+  cfg.warehouses_per_partition = 2;
+  cfg.districts_per_warehouse = 4;
+  cfg.customers_per_district = 8;
+  cfg.items = 64;
+  return cfg;
+}
+
+TEST(TpccKeysTest, WarehouseKeysRouteToOwningPartition) {
+  TpccWorkload tpcc(SmallConfig());
+  KeyPartitioner part(4);
+  for (uint32_t w = 0; w < tpcc.total_warehouses(); ++w) {
+    EXPECT_EQ(part.PartitionOf(tpcc.WarehouseKey(w)),
+              tpcc.PartitionOfWarehouse(w));
+  }
+}
+
+TEST(TpccKeysTest, AllKeyKindsRouteConsistently) {
+  TpccWorkload tpcc(SmallConfig());
+  KeyPartitioner part(4);
+  for (uint32_t w = 0; w < tpcc.total_warehouses(); ++w) {
+    const PartitionId p = tpcc.PartitionOfWarehouse(w);
+    EXPECT_EQ(part.PartitionOf(tpcc.DistrictKey(w, 3)), p);
+    EXPECT_EQ(part.PartitionOf(tpcc.CustomerKey(w, 2, 5)), p);
+    EXPECT_EQ(part.PartitionOf(tpcc.StockKey(w, 17)), p);
+  }
+}
+
+TEST(TpccKeysTest, KeysAreCollisionFreeWithinTables) {
+  TpccWorkload tpcc(SmallConfig());
+  const TpccConfig& cfg = tpcc.config();
+  std::unordered_set<Key> district_keys;
+  std::unordered_set<Key> customer_keys;
+  std::unordered_set<Key> stock_keys;
+  for (uint32_t w = 0; w < tpcc.total_warehouses(); ++w) {
+    for (uint32_t d = 0; d < cfg.districts_per_warehouse; ++d) {
+      EXPECT_TRUE(district_keys.insert(tpcc.DistrictKey(w, d)).second);
+      for (uint32_t c = 0; c < cfg.customers_per_district; ++c) {
+        EXPECT_TRUE(customer_keys.insert(tpcc.CustomerKey(w, d, c)).second);
+      }
+    }
+    for (uint32_t i = 0; i < cfg.items; ++i) {
+      EXPECT_TRUE(stock_keys.insert(tpcc.StockKey(w, i)).second);
+    }
+  }
+}
+
+TEST(TpccLoadTest, PartitionHoldsItsWarehousesOnly) {
+  TpccWorkload tpcc(SmallConfig());
+  PartitionStore store(1);
+  KeyPartitioner part(4);
+  tpcc.LoadPartition(&store, part);
+  // 2 warehouses on partition 1.
+  EXPECT_EQ(store.GetTable(TpccWorkload::kWarehouse)->size(), 2u);
+  EXPECT_EQ(store.GetTable(TpccWorkload::kDistrict)->size(), 2u * 4);
+  EXPECT_EQ(store.GetTable(TpccWorkload::kCustomer)->size(), 2u * 4 * 8);
+  EXPECT_EQ(store.GetTable(TpccWorkload::kStock)->size(), 2u * 64);
+  // Replicated ITEM table: full copy.
+  EXPECT_EQ(store.GetTable(TpccWorkload::kItem)->size(), 64u);
+}
+
+TEST(TpccLoadTest, GeneratedKeysExistInStore) {
+  TpccWorkload tpcc(SmallConfig());
+  KeyPartitioner part(4);
+  std::vector<PartitionStore> stores;
+  for (PartitionId p = 0; p < 4; ++p) {
+    stores.emplace_back(p);
+    tpcc.LoadPartition(&stores.back(), part);
+  }
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const TxnRequest req = tpcc.NextTxn(i % 4, rng);
+    for (const Operation& op : req.ops) {
+      const PartitionId p = part.PartitionOf(op.key);
+      const Table* table = stores[p].GetTable(op.table);
+      ASSERT_NE(table, nullptr);
+      EXPECT_TRUE(table->Get(op.key).ok())
+          << "table " << op.table << " key " << op.key;
+    }
+  }
+}
+
+TEST(TpccTxnTest, PaymentShape) {
+  TpccConfig cfg = SmallConfig();
+  cfg.payment_fraction = 1.0;
+  TpccWorkload tpcc(cfg);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const TxnRequest req = tpcc.NextTxn(0, rng);
+    ASSERT_EQ(req.ops.size(), 3u);
+    EXPECT_EQ(req.ops[0].table, TpccWorkload::kWarehouse);
+    EXPECT_TRUE(req.ops[0].is_write());
+    EXPECT_EQ(req.ops[1].table, TpccWorkload::kDistrict);
+    EXPECT_TRUE(req.ops[1].is_write());
+    EXPECT_EQ(req.ops[2].table, TpccWorkload::kCustomer);
+    EXPECT_TRUE(req.ops[2].is_write());
+  }
+}
+
+TEST(TpccTxnTest, PaymentRemoteFractionApproximatesConfig) {
+  TpccConfig cfg = SmallConfig();
+  cfg.payment_fraction = 1.0;
+  cfg.payment_remote_probability = 0.15;
+  TpccWorkload tpcc(cfg);
+  KeyPartitioner part(4);
+  Rng rng(3);
+  int multi = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const TxnRequest req = tpcc.NextTxn(0, rng);
+    std::set<PartitionId> parts;
+    for (const Operation& op : req.ops) parts.insert(part.PartitionOf(op.key));
+    if (parts.size() > 1) multi++;
+  }
+  // A remote customer is on another partition 6/7 of the time (the other
+  // warehouse may share the partition): expect ~0.15 * 6/7 ~ 0.129.
+  EXPECT_NEAR(multi / static_cast<double>(kSamples), 0.129, 0.02);
+}
+
+TEST(TpccTxnTest, NewOrderShape) {
+  TpccConfig cfg = SmallConfig();
+  cfg.payment_fraction = 0.0;
+  TpccWorkload tpcc(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const TxnRequest req = tpcc.NextTxn(0, rng);
+    // warehouse read + district write + per line (item read + stock write,
+    // stock dedup may drop a few).
+    ASSERT_GE(req.ops.size(), 2u + 5u + 1u);
+    EXPECT_EQ(req.ops[0].table, TpccWorkload::kWarehouse);
+    EXPECT_FALSE(req.ops[0].is_write());
+    EXPECT_EQ(req.ops[1].table, TpccWorkload::kDistrict);
+    EXPECT_TRUE(req.ops[1].is_write());
+    int items = 0, stocks = 0;
+    for (const Operation& op : req.ops) {
+      if (op.table == TpccWorkload::kItem) {
+        items++;
+        EXPECT_FALSE(op.is_write());
+      }
+      if (op.table == TpccWorkload::kStock) {
+        stocks++;
+        EXPECT_TRUE(op.is_write());
+      }
+    }
+    EXPECT_GE(items, 5);
+    EXPECT_LE(items, 15);
+    EXPECT_LE(stocks, items);
+  }
+}
+
+TEST(TpccTxnTest, ItemReadsAreAlwaysLocal) {
+  TpccConfig cfg = SmallConfig();
+  cfg.payment_fraction = 0.0;
+  TpccWorkload tpcc(cfg);
+  KeyPartitioner part(4);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const PartitionId home = i % 4;
+    for (const Operation& op : tpcc.NextTxn(home, rng).ops) {
+      if (op.table == TpccWorkload::kItem) {
+        EXPECT_EQ(part.PartitionOf(op.key), home);
+      }
+    }
+  }
+}
+
+TEST(TpccTxnTest, MostNewOrdersAreSinglePartition) {
+  TpccConfig cfg = SmallConfig();
+  cfg.payment_fraction = 0.0;
+  TpccWorkload tpcc(cfg);
+  KeyPartitioner part(4);
+  Rng rng(6);
+  int multi = 0;
+  const int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    const TxnRequest req = tpcc.NextTxn(0, rng);
+    std::set<PartitionId> parts;
+    for (const Operation& op : req.ops) parts.insert(part.PartitionOf(op.key));
+    if (parts.size() > 1) multi++;
+  }
+  const double frac = multi / static_cast<double>(kSamples);
+  // ~1% remote per line, ~10 lines -> ~8-10% multi-partition (paper: ~10%).
+  EXPECT_GT(frac, 0.03);
+  EXPECT_LT(frac, 0.18);
+}
+
+TEST(TpccTxnTest, MixFollowsPaymentFraction) {
+  TpccConfig cfg = SmallConfig();
+  cfg.payment_fraction = 0.5;
+  TpccWorkload tpcc(cfg);
+  Rng rng(7);
+  int payments = 0;
+  for (int i = 0; i < 10000; ++i) {
+    // Payments have exactly 3 operations; NewOrders have >= 7.
+    if (tpcc.NextTxn(0, rng).ops.size() == 3) payments++;
+  }
+  EXPECT_NEAR(payments / 10000.0, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace ecdb

@@ -1,0 +1,148 @@
+// Unit tests for the write-ahead log (memory and file backends).
+
+#include "wal/wal.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ecdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(LogRecordTest, PaperNames) {
+  EXPECT_EQ(ToString(LogRecordType::kBeginCommit), "begin_commit");
+  EXPECT_EQ(ToString(LogRecordType::kReady), "ready");
+  EXPECT_EQ(ToString(LogRecordType::kCommitDecision),
+            "global-commit-decision-reached");
+  EXPECT_EQ(ToString(LogRecordType::kAbortReceived), "global-abort-received");
+  EXPECT_EQ(ToString(LogRecordType::kTransactionCommit),
+            "transaction-commit");
+  EXPECT_EQ(ToString(LogRecordType::kPreCommit), "pre-commit");
+}
+
+TEST(MemoryWalTest, AppendAssignsSequentialLsns) {
+  MemoryWal wal;
+  EXPECT_EQ(wal.Append({0, 1, LogRecordType::kBeginCommit, {}}), 1u);
+  EXPECT_EQ(wal.Append({0, 1, LogRecordType::kCommitDecision, {}}), 2u);
+  EXPECT_EQ(wal.Size(), 2u);
+}
+
+TEST(MemoryWalTest, ScanReturnsAppendOrder) {
+  MemoryWal wal;
+  wal.Append({0, 7, LogRecordType::kReady, {}});
+  wal.Append({0, 8, LogRecordType::kReady, {}});
+  const auto records = wal.Scan();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].txn, 7u);
+  EXPECT_EQ(records[1].txn, 8u);
+}
+
+TEST(MemoryWalTest, LastForFindsMostRecent) {
+  MemoryWal wal;
+  wal.Append({0, 7, LogRecordType::kReady, {}});
+  wal.Append({0, 9, LogRecordType::kReady, {}});
+  wal.Append({0, 7, LogRecordType::kTransactionCommit, {}});
+  const auto last = wal.LastFor(7);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->type, LogRecordType::kTransactionCommit);
+}
+
+TEST(MemoryWalTest, LastForMissingTxn) {
+  MemoryWal wal;
+  EXPECT_FALSE(wal.LastFor(42).has_value());
+}
+
+TEST(MemoryWalTest, ClearEmptiesLog) {
+  MemoryWal wal;
+  wal.Append({0, 1, LogRecordType::kReady, {}});
+  wal.Clear();
+  EXPECT_EQ(wal.Size(), 0u);
+}
+
+TEST(MemoryWalTest, ParticipantsArePreserved) {
+  MemoryWal wal;
+  wal.Append({0, 1, LogRecordType::kReady, {3, 1, 4}});
+  EXPECT_EQ(wal.LastFor(1)->participants, (std::vector<NodeId>{3, 1, 4}));
+}
+
+TEST(FileWalTest, OpenCreatesFile) {
+  const std::string path = TempPath("wal_create.log");
+  std::remove(path.c_str());
+  auto wal = FileWal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal.value()->Size(), 0u);
+}
+
+TEST(FileWalTest, AppendAndScan) {
+  const std::string path = TempPath("wal_scan.log");
+  std::remove(path.c_str());
+  auto wal = std::move(FileWal::Open(path)).value();
+  wal->Append({0, 11, LogRecordType::kBeginCommit, {}});
+  wal->Append({0, 11, LogRecordType::kCommitDecision, {}});
+  const auto records = wal->Scan();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, LogRecordType::kBeginCommit);
+  EXPECT_EQ(records[1].lsn, 2u);
+}
+
+TEST(FileWalTest, SurvivesReopen) {
+  const std::string path = TempPath("wal_reopen.log");
+  std::remove(path.c_str());
+  {
+    auto wal = std::move(FileWal::Open(path)).value();
+    wal->Append({0, 5, LogRecordType::kReady, {0, 1, 2}});
+    wal->Append({0, 5, LogRecordType::kCommitReceived, {}});
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto wal = std::move(FileWal::Open(path)).value();
+  ASSERT_EQ(wal->Size(), 2u);
+  const auto last = wal->LastFor(5);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->type, LogRecordType::kCommitReceived);
+  EXPECT_EQ(wal->Scan()[0].participants, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(FileWalTest, AppendsAfterReopenContinueLsns) {
+  const std::string path = TempPath("wal_continue.log");
+  std::remove(path.c_str());
+  {
+    auto wal = std::move(FileWal::Open(path)).value();
+    wal->Append({0, 5, LogRecordType::kReady, {}});
+  }
+  auto wal = std::move(FileWal::Open(path)).value();
+  EXPECT_EQ(wal->Append({0, 5, LogRecordType::kTransactionCommit, {}}), 2u);
+  EXPECT_EQ(wal->Size(), 2u);
+}
+
+TEST(FileWalTest, TornTailIsIgnored) {
+  const std::string path = TempPath("wal_torn.log");
+  std::remove(path.c_str());
+  {
+    auto wal = std::move(FileWal::Open(path)).value();
+    wal->Append({0, 5, LogRecordType::kReady, {}});
+    wal->Append({0, 6, LogRecordType::kReady, {}});
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  // Append garbage (a torn write) at the end.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  const unsigned char junk[5] = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+
+  auto wal = std::move(FileWal::Open(path)).value();
+  EXPECT_EQ(wal->Size(), 2u);  // valid prefix only
+}
+
+TEST(FileWalTest, OpenFailsForBadPath) {
+  auto wal = FileWal::Open("/nonexistent-dir-xyz/wal.log");
+  EXPECT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), Code::kIOError);
+}
+
+}  // namespace
+}  // namespace ecdb
