@@ -1,0 +1,151 @@
+// Engine micro-benchmarks (google-benchmark): the discrete-event hot paths
+// every experiment in this repo is built on. Three layers are measured:
+//
+//   1. Scheduler   — schedule/run/cancel throughput, with and without a
+//                    standing backlog (the steady-state shape of a loaded
+//                    simulation, where thousands of timers are pending).
+//   2. SimNetwork  — broadcast fan-out: one logical decision delivered to
+//                    n recipients, the dominant cost of EasyCommit's O(n^2)
+//                    decision re-broadcast (paper Section 5.3).
+//   3. End to end  — complete commit rounds per wall-clock second for
+//                    2PC / 3PC / EC on a ProtocolTestbed.
+//
+// `scripts/bench_to_json.py` runs this binary and appends a labeled entry
+// to BENCH_engine.json, the repo's perf-trajectory file. The acceptance
+// gate for engine changes is "no silent regressions" — see
+// docs/PERFORMANCE.md.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "commit/testbed.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace ecdb;
+using ecdb::testbed::ProtocolTestbed;
+
+// --------------------------------------------------------------------------
+// 1. Scheduler
+// --------------------------------------------------------------------------
+
+// Schedule one event, run it. The queue stays near-empty: this isolates the
+// fixed per-event overhead (allocation, bookkeeping) from heap depth.
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  Scheduler sched;
+  for (auto _ : state) {
+    sched.ScheduleAfter(1, [] {});
+    sched.RunOne();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+// Steady-state churn: a standing backlog of pending timers (range(0)) while
+// events are scheduled and retired one-for-one. This is the shape of a
+// loaded simulation — every in-flight message and armed timeout is a
+// pending event.
+void BM_SchedulerChurn(benchmark::State& state) {
+  const size_t backlog = static_cast<size_t>(state.range(0));
+  Scheduler sched;
+  for (size_t i = 0; i < backlog; ++i) {
+    sched.ScheduleAfter(1 + (i % 97), [] {});
+  }
+  for (auto _ : state) {
+    sched.ScheduleAfter(101, [] {});
+    sched.RunOne();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Schedule two events, cancel one, run the other. Covers the cancel path
+// plus the cancelled-entry skip during pop (armed-then-cancelled timers are
+// the common case: every message that arrives in time cancels a timeout).
+void BM_SchedulerScheduleCancelRun(benchmark::State& state) {
+  Scheduler sched;
+  for (auto _ : state) {
+    const auto doomed = sched.ScheduleAfter(1, [] {});
+    sched.ScheduleAfter(2, [] {});
+    sched.Cancel(doomed);
+    sched.RunOne();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerScheduleCancelRun);
+
+// --------------------------------------------------------------------------
+// 2. SimNetwork broadcast fan-out
+// --------------------------------------------------------------------------
+
+// One kGlobalCommit carrying an n-entry participant list, fanned out to
+// n-1 recipients and delivered. This is exactly what a coordinator (and,
+// under EC, every cohort) does per decision.
+void BM_NetworkBroadcast(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.base_latency_us = 1;
+  cfg.jitter_us = 0;
+  SimNetwork net(&sched, cfg, /*seed=*/1);
+  for (NodeId id = 0; id < n; ++id) {
+    net.RegisterNode(id, [](const Message&) {});
+  }
+  std::vector<NodeId> participants;
+  for (NodeId id = 0; id < n; ++id) participants.push_back(id);
+
+  for (auto _ : state) {
+    Message base;
+    base.type = MsgType::kGlobalCommit;
+    base.src = 0;
+    base.txn = MakeTxnId(0, 1);
+    base.participants = participants;
+    for (NodeId dst = 1; dst < n; ++dst) {
+      Message m = base;  // per-recipient copy: the fan-out cost under test
+      m.dst = dst;
+      net.Send(std::move(m));
+    }
+    sched.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_NetworkBroadcast)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// --------------------------------------------------------------------------
+// 3. End-to-end commit rounds
+// --------------------------------------------------------------------------
+
+void BM_CommitRound(benchmark::State& state, CommitProtocol protocol) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  NetworkConfig net;
+  net.base_latency_us = 1;
+  net.jitter_us = 0;
+  CommitEngineConfig commit;
+  ProtocolTestbed bed(protocol, n, net, commit);
+  for (auto _ : state) {
+    const TxnId txn = bed.StartAll();
+    bed.Settle();
+    benchmark::DoNotOptimize(bed.host(0).applied(txn));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TwoPhaseRound(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kTwoPhase);
+}
+void BM_ThreePhaseRound(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kThreePhase);
+}
+void BM_EasyCommitRound(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kEasyCommit);
+}
+BENCHMARK(BM_TwoPhaseRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_ThreePhaseRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_EasyCommitRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

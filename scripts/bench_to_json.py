@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Run the engine benchmark harness and record results in BENCH_engine.json.
+
+BENCH_engine.json is the repository's perf-trajectory file: an append-only
+list of labeled benchmark snapshots, one per recorded run (e.g. "seed",
+"pr1", ...). Comparing the latest entry against its predecessors is how a PR
+proves it did not regress the simulator hot paths (docs/PERFORMANCE.md).
+
+Usage:
+    scripts/bench_to_json.py --label pr1 [--build build] [--out BENCH_engine.json]
+    scripts/bench_to_json.py --compare seed pr1   # print speedup table
+
+The benchmark binary must already be built:
+    cmake -B build -S . && cmake --build build --target bench_engine -j
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_commit():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            text=True).strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def run_benchmarks(build_dir, repetitions):
+    binary = os.path.join(REPO_ROOT, build_dir, "bench", "bench_engine")
+    if not os.path.exists(binary):
+        sys.exit(f"benchmark binary not found: {binary} "
+                 "(build the bench_engine target first)")
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        f"--benchmark_repetitions={repetitions}",
+        "--benchmark_report_aggregates_only=true",
+    ]
+    raw = json.loads(subprocess.check_output(cmd, text=True))
+    results = {}
+    for bench in raw.get("benchmarks", []):
+        # With aggregates, keep the median; without, the single run.
+        if bench.get("aggregate_name", "median") != "median":
+            continue
+        name = bench["run_name"] if "run_name" in bench else bench["name"]
+        results[name] = {
+            "real_time_ns": bench["real_time"],
+            "cpu_time_ns": bench["cpu_time"],
+            "items_per_second": bench.get("items_per_second"),
+        }
+    return {"context": raw.get("context", {}), "results": results}
+
+
+def load(path):
+    if os.path.exists(path):
+        with open(path) as f:
+            content = f.read().strip()
+            if content:
+                return json.loads(content)
+    return {"description":
+            "Perf trajectory of the simulator engine hot paths; entries are "
+            "appended by scripts/bench_to_json.py (see docs/PERFORMANCE.md).",
+            "entries": []}
+
+
+def cmd_record(args):
+    out_path = os.path.join(REPO_ROOT, args.out)
+    data = load(out_path)
+    snapshot = run_benchmarks(args.build, args.repetitions)
+    entry = {
+        "label": args.label,
+        "commit": git_commit(),
+        "host": snapshot["context"].get("host_name", "unknown"),
+        "num_cpus": snapshot["context"].get("num_cpus"),
+        "benchmarks": snapshot["results"],
+    }
+    data["entries"] = [e for e in data["entries"] if e["label"] != args.label]
+    data["entries"].append(entry)
+    with open(out_path, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+    print(f"recorded {len(entry['benchmarks'])} benchmarks as "
+          f"'{args.label}' in {args.out}")
+
+
+def cmd_compare(args):
+    data = load(os.path.join(REPO_ROOT, args.out))
+    by_label = {e["label"]: e for e in data["entries"]}
+    for label in (args.base, args.new):
+        if label not in by_label:
+            sys.exit(f"no entry labeled '{label}' in {args.out}")
+    base = by_label[args.base]["benchmarks"]
+    new = by_label[args.new]["benchmarks"]
+    print(f"{'benchmark':<40} {args.base:>12} {args.new:>12} {'speedup':>9}")
+    for name in sorted(set(base) & set(new)):
+        b, n = base[name]["real_time_ns"], new[name]["real_time_ns"]
+        print(f"{name:<40} {b:>10.0f}ns {n:>10.0f}ns {b / n:>8.2f}x")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", help="label for this snapshot (e.g. pr1)")
+    parser.add_argument("--build", default="build", help="build directory")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
+                        help="print a speedup table between two entries")
+    args = parser.parse_args()
+    if args.compare:
+        args.base, args.new = args.compare
+        cmd_compare(args)
+    elif args.label:
+        cmd_record(args)
+    else:
+        parser.error("either --label or --compare is required")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,7 +46,7 @@ void SimNode::StartClients() {
 // Worker pool model
 // --------------------------------------------------------------------------
 
-void SimNode::EnqueueJob(CostVector cost, std::function<void()> fn) {
+void SimNode::EnqueueJob(CostVector cost, Job fn) {
   if (crashed_) return;
   if (busy_workers_ < config_.workers_per_node) {
     StartJob(cost, std::move(fn));
@@ -55,20 +55,35 @@ void SimNode::EnqueueJob(CostVector cost, std::function<void()> fn) {
   }
 }
 
-void SimNode::StartJob(CostVector cost, std::function<void()> fn) {
+void SimNode::StartJob(CostVector cost, Job fn) {
   busy_workers_++;
   Micros total = 0;
   for (Micros c : cost) total += c;
-  const uint64_t epoch = epoch_;
-  scheduler_->ScheduleAfter(
-      total, [this, cost, fn = std::move(fn), epoch]() {
-        if (crashed_ || epoch != epoch_) return;
-        FinishJob(cost, fn);
-      });
+  uint32_t idx;
+  if (free_job_slots_.empty()) {
+    idx = static_cast<uint32_t>(running_jobs_.size());
+    running_jobs_.emplace_back();
+  } else {
+    idx = free_job_slots_.back();
+    free_job_slots_.pop_back();
+  }
+  RunningJob& job = running_jobs_[idx];
+  job.cost = cost;
+  job.fn = std::move(fn);
+  job.epoch = epoch_;
+  scheduler_->ScheduleAfter(total, [this, idx]() { FinishJobSlot(idx); });
 }
 
-void SimNode::FinishJob(const CostVector& cost,
-                        const std::function<void()>& fn) {
+void SimNode::FinishJobSlot(uint32_t idx) {
+  // Move the job out before running it: the callable may start new jobs,
+  // growing (and reallocating) the pool under us.
+  RunningJob job = std::move(running_jobs_[idx]);
+  free_job_slots_.push_back(idx);
+  if (crashed_ || job.epoch != epoch_) return;
+  FinishJob(job.cost, job.fn);
+}
+
+void SimNode::FinishJob(const CostVector& cost, Job& fn) {
   Micros total = 0;
   for (size_t i = 0; i < kNumTimeCategories; ++i) {
     stats_.time_us[i] += cost[i];

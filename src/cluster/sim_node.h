@@ -133,7 +133,7 @@ class SimNode : public CommitEnv {
   struct ExecContext {
     TxnId txn;
     uint64_t priority_ts;
-    std::vector<Operation> ops;
+    CowVector<Operation> ops;  // shares the kRemoteExec message's buffer
     size_t idx = 0;
     std::vector<UndoRecord> undo;
     std::function<void(bool ok, std::vector<UndoRecord> undo)> done;
@@ -148,10 +148,17 @@ class SimNode : public CommitEnv {
     return v;
   }
 
-  // Worker pool model.
-  void EnqueueJob(CostVector cost, std::function<void()> fn);
-  void StartJob(CostVector cost, std::function<void()> fn);
-  void FinishJob(const CostVector& cost, const std::function<void()>& fn);
+  // Worker pool model. Jobs are Scheduler::Task (TaskFn) rather than
+  // std::function: the common capture shapes fit the inline buffer, so
+  // queueing and completing a job does not allocate. A running job parks in
+  // a pooled slot and the scheduler event is a 16-byte trampoline; nesting
+  // the job callable inside the completion lambda would overflow any inline
+  // buffer and force a heap allocation per job (i.e. per message).
+  using Job = Scheduler::Task;
+  void EnqueueJob(CostVector cost, Job fn);
+  void StartJob(CostVector cost, Job fn);
+  void FinishJobSlot(uint32_t idx);
+  void FinishJob(const CostVector& cost, Job& fn);
 
   // Message handling.
   void OnNetMessage(const Message& msg);
@@ -203,8 +210,18 @@ class SimNode : public CommitEnv {
   uint64_t next_priority_ts_ = 1;
 
   // Worker pool.
+  /// One in-flight worker job, parked until its completion event fires.
+  /// `epoch` guards against completions that straddle a crash.
+  struct RunningJob {
+    CostVector cost;
+    Job fn;
+    uint64_t epoch = 0;
+  };
+
   uint32_t busy_workers_ = 0;
-  std::deque<std::pair<CostVector, std::function<void()>>> job_queue_;
+  std::deque<std::pair<CostVector, Job>> job_queue_;
+  std::vector<RunningJob> running_jobs_;
+  std::vector<uint32_t> free_job_slots_;
 
   bool crashed_ = false;
   uint64_t epoch_ = 0;  // bumped on crash; stale continuations are dropped

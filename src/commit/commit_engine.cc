@@ -322,12 +322,19 @@ void CommitEngine::MaybeCleanup(TxnId txn, TxnRecord& rec) {
     pending = !rec.acks_pending.empty();
   } else if (ForwardingEnabled()) {
     // EC (Section 5.3): resources are released only after a Global-*
-    // message has been seen from every other participant.
-    for (NodeId p : rec.participants) {
-      if (p == env_->self()) continue;
-      if (rec.seen_decision_from.count(p) == 0) {
-        pending = true;
-        break;
+    // message has been seen from every other participant. Most receipts
+    // cannot possibly complete the set yet, so check the count before
+    // paying a per-participant lookup; the loop stays authoritative (the
+    // set is keyed by sender, which need not be a current participant).
+    if (rec.seen_decision_from.size() + 1 < rec.participants.size()) {
+      pending = true;
+    } else {
+      for (NodeId p : rec.participants) {
+        if (p == env_->self()) continue;
+        if (rec.seen_decision_from.count(p) == 0) {
+          pending = true;
+          break;
+        }
       }
     }
   }

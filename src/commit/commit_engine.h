@@ -7,11 +7,50 @@
 #include <unordered_set>
 #include <vector>
 
+#include <algorithm>
+
 #include "commit/commit_env.h"
+#include "common/cow_vector.h"
 #include "common/types.h"
 #include "net/message.h"
 
 namespace ecdb {
+
+/// Set of NodeIds stored as a flat unsorted vector. Cohorts are tens of
+/// nodes at most, where a linear scan over contiguous ids beats hashing —
+/// and, unlike unordered_set, membership changes never allocate once the
+/// vector has grown. Used for the per-transaction bookkeeping sets that
+/// the commit engine updates on every vote/ack/decision receipt.
+class FlatNodeSet {
+ public:
+  /// Inserts `n` if absent. Returns true when the set changed.
+  bool insert(NodeId n) {
+    if (contains(n)) return false;
+    ids_.push_back(n);
+    return true;
+  }
+
+  /// Removes `n` if present (order is not preserved). Returns the number
+  /// of elements removed (0 or 1), mirroring std::unordered_set::erase.
+  size_t erase(NodeId n) {
+    auto it = std::find(ids_.begin(), ids_.end(), n);
+    if (it == ids_.end()) return 0;
+    *it = ids_.back();
+    ids_.pop_back();
+    return 1;
+  }
+
+  bool contains(NodeId n) const {
+    return std::find(ids_.begin(), ids_.end(), n) != ids_.end();
+  }
+  size_t count(NodeId n) const { return contains(n) ? 1 : 0; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear() { ids_.clear(); }
+
+ private:
+  std::vector<NodeId> ids_;
+};
 
 /// Timeouts governing the commit protocols. All values in microseconds of
 /// (simulated or real) time. Timeouts must exceed the maximum round-trip
@@ -124,15 +163,18 @@ class CommitEngine {
   struct TxnRecord {
     bool is_coordinator = false;
     NodeId coordinator = kInvalidNode;
-    std::vector<NodeId> participants;  // coordinator first; empty until known
+    // Coordinator first; empty until known. Copy-on-write: stamping the
+    // list onto every outgoing Prepare/Global-* message shares one buffer
+    // with the record instead of deep-copying per recipient.
+    CowVector<NodeId> participants;
     CohortState state = CohortState::kInitial;
     Decision own_vote = Decision::kCommit;
 
     // Coordinator bookkeeping.
-    std::unordered_set<NodeId> votes_pending;
-    std::unordered_set<NodeId> commit_voters;
-    std::unordered_set<NodeId> precommit_acks_pending;  // 3PC
-    std::unordered_set<NodeId> acks_pending;            // 2PC/3PC
+    FlatNodeSet votes_pending;
+    FlatNodeSet commit_voters;
+    FlatNodeSet precommit_acks_pending;  // 3PC
+    FlatNodeSet acks_pending;            // 2PC/3PC
     bool any_vote_abort = false;
 
     // Decision state.
@@ -143,7 +185,7 @@ class CommitEngine {
 
     // EC cleanup tracking: participants from whom a Global-* message
     // (original or forwarded) has been received.
-    std::unordered_set<NodeId> seen_decision_from;
+    FlatNodeSet seen_decision_from;
 
     // Termination protocol.
     bool recovered = false;  // resumed via ResumeAfterRecovery (Section 4.2)

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cow_vector.h"
 #include "common/operation.h"
 #include "common/types.h"
 
@@ -71,7 +72,11 @@ struct Message {
   /// the Global-* messages with exactly this field so EC cohorts know whom
   /// to forward the decision to (Section 5.3); we also piggyback it on
   /// Prepare so cohorts can run the termination protocol.
-  std::vector<NodeId> participants;
+  ///
+  /// Copy-on-write: copying a Message shares this list, so broadcasting a
+  /// decision to n cohorts (and EC's n^2 cohort re-broadcast) performs one
+  /// allocation total, not one deep copy per recipient.
+  CowVector<NodeId> participants;
 
   /// True when a Global-* message is a cohort-side forward (EC second
   /// phase) rather than the coordinator's original transmission.
@@ -83,8 +88,8 @@ struct Message {
   bool has_decision = false;
   Decision decision = Decision::kAbort;
 
-  /// Execution payload for kRemoteExec.
-  std::vector<Operation> ops;
+  /// Execution payload for kRemoteExec. Copy-on-write, like participants.
+  CowVector<Operation> ops;
 
   /// kRemoteExec: whether the whole transaction performs writes anywhere
   /// (write-free multi-partition transactions skip the commit protocol, so

@@ -12,39 +12,50 @@ SimNetwork::SimNetwork(Scheduler* scheduler, NetworkConfig config,
     : scheduler_(scheduler), config_(config), rng_(seed) {}
 
 void SimNetwork::RegisterNode(NodeId node, Handler handler) {
+  if (node >= handlers_.size()) handlers_.resize(node + 1);
   handlers_[node] = std::move(handler);
 }
 
 bool SimNetwork::LinkDown(NodeId a, NodeId b) const {
+  if (links_down_.empty()) return false;
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
   return links_down_.count(LinkKey(lo, hi)) > 0;
 }
 
-Micros SimNetwork::SampleLatency(const Message& msg) {
+Micros SimNetwork::SampleLatency(const Message& msg, size_t bytes) {
   Micros latency = config_.base_latency_us;
   if (config_.jitter_us > 0) {
     latency += rng_.NextBounded(config_.jitter_us + 1);
   }
   if (config_.per_byte_us > 0.0) {
     latency += static_cast<Micros>(config_.per_byte_us *
-                                   static_cast<double>(msg.ApproximateBytes()));
+                                   static_cast<double>(bytes));
   }
-  auto it = extra_delay_.find(LinkKey(msg.src, msg.dst));
-  if (it != extra_delay_.end()) latency += it->second;
+  if (!extra_delay_.empty()) {
+    auto it = extra_delay_.find(LinkKey(msg.src, msg.dst));
+    if (it != extra_delay_.end()) latency += it->second;
+  }
   return latency;
 }
 
 void SimNetwork::Send(Message msg) {
   if (send_filter_ && !send_filter_(msg)) return;
-  stats_.messages_sent++;
-  stats_.bytes_sent += msg.ApproximateBytes();
-  stats_.per_type[msg.type]++;
 
-  if (crashed_.count(msg.src) > 0) {
+  // A crashed node cannot put a message on the wire, so nothing it "sends"
+  // reaches the traffic counters — only the dedicated from-crashed counter.
+  // Checked before any accounting so the message-complexity ablations don't
+  // credit dead nodes with network work.
+  if (IsCrashed(msg.src)) {
     stats_.messages_from_crashed++;
     return;
   }
+
+  const size_t bytes = msg.ApproximateBytes();  // computed once per send
+  stats_.messages_sent++;
+  stats_.bytes_sent += bytes;
+  stats_.per_type[msg.type]++;
+
   if (LinkDown(msg.src, msg.dst)) {
     stats_.messages_dropped++;
     return;
@@ -55,11 +66,11 @@ void SimNetwork::Send(Message msg) {
     return;
   }
 
-  const Micros latency = SampleLatency(msg);
+  const Micros latency = SampleLatency(msg, bytes);
   scheduler_->ScheduleAfter(latency, [this, m = std::move(msg)]() {
     // Crash state is evaluated at delivery time: messages in flight toward
     // a node that crashes meanwhile are lost, matching fail-stop semantics.
-    if (crashed_.count(m.dst) > 0) {
+    if (IsCrashed(m.dst)) {
       stats_.messages_to_crashed++;
       return;
     }
@@ -67,22 +78,22 @@ void SimNetwork::Send(Message msg) {
       stats_.messages_dropped++;
       return;
     }
-    auto it = handlers_.find(m.dst);
-    if (it == handlers_.end()) {
+    if (m.dst >= handlers_.size() || !handlers_[m.dst]) {
       ECDB_LOG(kWarn, "message to unregistered node %u dropped", m.dst);
       return;
     }
     stats_.messages_delivered++;
-    it->second(m);
+    handlers_[m.dst](m);
   });
 }
 
-void SimNetwork::CrashNode(NodeId node) { crashed_.insert(node); }
+void SimNetwork::CrashNode(NodeId node) {
+  if (node >= crashed_.size()) crashed_.resize(node + 1, 0);
+  crashed_[node] = 1;
+}
 
-void SimNetwork::RecoverNode(NodeId node) { crashed_.erase(node); }
-
-bool SimNetwork::IsCrashed(NodeId node) const {
-  return crashed_.count(node) > 0;
+void SimNetwork::RecoverNode(NodeId node) {
+  if (node < crashed_.size()) crashed_[node] = 0;
 }
 
 void SimNetwork::SetLinkDown(NodeId a, NodeId b, bool down) {

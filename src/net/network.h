@@ -33,8 +33,33 @@ struct NetworkConfig {
   double per_byte_us = 0.0;
 };
 
+/// Dense per-message-type counters. Replaces an unordered_map<MsgType,
+/// uint64_t> on the Send hot path with a flat array indexed by the enum;
+/// keeps the map-flavored accessors (`at`, `count`, `operator[]`) the
+/// ablations and tests already use. `at` of a never-sent type reads 0
+/// instead of throwing; `count` reports whether the type was ever counted.
+class MsgTypeCounts {
+ public:
+  static constexpr size_t kNumTypes =
+      static_cast<size_t>(MsgType::kRemoteRollback) + 1;
+
+  uint64_t& operator[](MsgType t) { return counts_[Index(t)]; }
+  uint64_t at(MsgType t) const { return counts_[Index(t)]; }
+  size_t count(MsgType t) const { return counts_[Index(t)] != 0 ? 1 : 0; }
+
+ private:
+  static size_t Index(MsgType t) { return static_cast<size_t>(t); }
+
+  std::array<uint64_t, kNumTypes> counts_{};
+};
+
 /// Counters describing network activity; used by the message-complexity
 /// ablation (EC is O(n^2), 2PC/3PC are O(n)).
+///
+/// A message from a crashed source never entered the network, so it counts
+/// *only* in `messages_from_crashed` — not in `messages_sent`, `bytes_sent`
+/// or `per_type`. (Messages the loss model or a cut link eats *were* sent;
+/// they count in both `messages_sent` and `messages_dropped`.)
 struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
@@ -42,7 +67,7 @@ struct NetworkStats {
   uint64_t messages_to_crashed = 0;    // destination was down
   uint64_t messages_from_crashed = 0;  // source was down at send time
   uint64_t bytes_sent = 0;
-  std::unordered_map<MsgType, uint64_t> per_type;
+  MsgTypeCounts per_type;
 };
 
 /// Simulated message-passing network. Delivery is asynchronous: `Send`
@@ -78,7 +103,9 @@ class SimNetwork {
   /// manager's job; the network only resumes delivery.)
   void RecoverNode(NodeId node);
 
-  bool IsCrashed(NodeId node) const;
+  bool IsCrashed(NodeId node) const {
+    return node < crashed_.size() && crashed_[node] != 0;
+  }
 
   /// Cuts or restores the bidirectional link between `a` and `b`.
   void SetLinkDown(NodeId a, NodeId b, bool down);
@@ -106,7 +133,7 @@ class SimNetwork {
   const NetworkConfig& config() const { return config_; }
 
  private:
-  Micros SampleLatency(const Message& msg);
+  Micros SampleLatency(const Message& msg, size_t bytes);
   bool LinkDown(NodeId a, NodeId b) const;
 
   static uint64_t LinkKey(NodeId a, NodeId b) {
@@ -116,8 +143,8 @@ class SimNetwork {
   Scheduler* scheduler_;
   NetworkConfig config_;
   Rng rng_;
-  std::unordered_map<NodeId, Handler> handlers_;
-  std::unordered_set<NodeId> crashed_;
+  std::vector<Handler> handlers_;    // indexed by NodeId
+  std::vector<uint8_t> crashed_;     // indexed by NodeId; 1 = down
   std::unordered_set<uint64_t> links_down_;         // undirected, min/max key
   std::unordered_map<uint64_t, Micros> extra_delay_;  // directed
   DeliveryInterceptor interceptor_;

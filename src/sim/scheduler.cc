@@ -1,53 +1,12 @@
 #include "sim/scheduler.h"
 
-#include <utility>
-
 namespace ecdb {
-
-Scheduler::TaskId Scheduler::ScheduleAt(Micros when, Task task) {
-  if (when < now_) when = now_;
-  const TaskId id = next_id_++;
-  queue_.push(Entry{when, id});
-  tasks_.emplace(id, std::move(task));
-  return id;
-}
-
-Scheduler::TaskId Scheduler::ScheduleAfter(Micros delay, Task task) {
-  return ScheduleAt(now_ + delay, std::move(task));
-}
-
-bool Scheduler::Cancel(TaskId id) {
-  // Lazy cancellation: the queue entry stays but the task is removed, so
-  // RunOne skips it. This keeps Cancel O(1).
-  return tasks_.erase(id) > 0;
-}
-
-bool Scheduler::RunOne() {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    queue_.pop();
-    auto it = tasks_.find(entry.id);
-    if (it == tasks_.end()) continue;  // cancelled
-    Task task = std::move(it->second);
-    tasks_.erase(it);
-    now_ = entry.when;
-    task();
-    return true;
-  }
-  return false;
-}
 
 size_t Scheduler::RunUntil(Micros until) {
   size_t executed = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled heads so the peeked timestamp is a live event.
-    const Entry entry = queue_.top();
-    if (tasks_.find(entry.id) == tasks_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (entry.when > until) break;
-    RunOne();
+  const Entry* head;
+  while ((head = PeekLive()) != nullptr && head->when <= until) {
+    RunHead();
     ++executed;
   }
   if (now_ < until) now_ = until;

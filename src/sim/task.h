@@ -1,0 +1,200 @@
+#ifndef ECDB_SIM_TASK_H_
+#define ECDB_SIM_TASK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ecdb {
+
+/// Move-only callable with a large inline buffer, built for the scheduler's
+/// hot path. Differences from std::function<void()>:
+///
+///  * 104-byte small-buffer capacity — std::function spills to the heap at
+///    16 bytes, which made every event that captures a Message or an undo
+///    list a heap allocation;
+///  * move-only, so captured state (shared payloads, undo records) is
+///    moved between buffers, never copied;
+///  * trivially-copyable captures (the common `[this, txn, epoch]` timer
+///    shape) relocate via a constant-size memcpy with no dispatch beyond
+///    one indirect call.
+///
+/// Callables larger than the buffer fall back to a single heap allocation;
+/// the stored pointer then relocates as a trivial 8-byte copy.
+class TaskFn {
+ public:
+  static constexpr size_t kInlineBytes = 104;
+
+  TaskFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, TaskFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  TaskFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  TaskFn(TaskFn&& other) noexcept { MoveFrom(other); }
+
+  TaskFn& operator=(TaskFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  TaskFn(const TaskFn&) = delete;
+  TaskFn& operator=(const TaskFn&) = delete;
+
+  /// Assign a new callable, constructing it directly in the buffer. This is
+  /// the scheduler's storage path: no temporary TaskFn, no relocation.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, TaskFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  TaskFn& operator=(F&& f) {
+    using D = std::decay_t<F>;
+    Reset();
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+    return *this;
+  }
+
+  ~TaskFn() { Reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Runs the callable exactly once and leaves this TaskFn empty, in one
+  /// indirect call (versus three for move-out + invoke + destroy). The
+  /// capture is moved to the callee's frame and this object is already
+  /// empty before user code runs, so the invoked task may freely overwrite
+  /// or relocate the storage this TaskFn lives in (the scheduler recycles
+  /// slots this way).
+  void ConsumeInvoke() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->consume(buf_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs the callable into `dst` and destroys it in `src`.
+    void (*relocate)(void* dst, void* src);
+    /// nullptr when the stored callable is trivially destructible.
+    void (*destroy)(void* self);
+    /// Moves the callable out of `src`, destroys the source, then invokes
+    /// the moved copy. `src` is dead before the callable runs.
+    void (*consume)(void* src);
+  };
+
+  template <typename D>
+  static D* As(void* p) {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D>
+  static void InvokeInline(void* self) {
+    (*As<D>(self))();
+  }
+
+  template <typename D>
+  static void RelocateInline(void* dst, void* src) {
+    if constexpr (std::is_trivially_copyable_v<D>) {
+      std::memcpy(dst, src, sizeof(D));
+    } else {
+      ::new (dst) D(std::move(*As<D>(src)));
+      As<D>(src)->~D();
+    }
+  }
+
+  template <typename D>
+  static void DestroyInline(void* self) {
+    As<D>(self)->~D();
+  }
+
+  template <typename D>
+  static void ConsumeInline(void* src) {
+    if constexpr (std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      alignas(D) unsigned char local[sizeof(D)];
+      std::memcpy(local, src, sizeof(D));
+      (*As<D>(local))();
+    } else {
+      D local(std::move(*As<D>(src)));
+      As<D>(src)->~D();
+      local();
+    }
+  }
+
+  template <typename D>
+  static void InvokeHeap(void* self) {
+    (**As<D*>(self))();
+  }
+
+  static void RelocatePointer(void* dst, void* src) {
+    std::memcpy(dst, src, sizeof(void*));
+  }
+
+  template <typename D>
+  static void DestroyHeap(void* self) {
+    delete *As<D*>(self);
+  }
+
+  template <typename D>
+  static void ConsumeHeap(void* src) {
+    D* p = *As<D*>(src);
+    (*p)();
+    delete p;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      &InvokeInline<D>, &RelocateInline<D>,
+      std::is_trivially_destructible_v<D> ? nullptr : &DestroyInline<D>,
+      &ConsumeInline<D>};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{&InvokeHeap<D>, &RelocatePointer,
+                                &DestroyHeap<D>, &ConsumeHeap<D>};
+
+  void MoveFrom(TaskFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(buf_);
+    ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_SIM_TASK_H_

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cow_vector.h"
 #include "common/operation.h"
 #include "common/types.h"
 
@@ -76,12 +77,15 @@ struct Transaction {
 };
 
 /// Participant-side state for a remote fragment: the operations executed on
-/// behalf of a coordinator plus undo information for rollback.
+/// behalf of a coordinator plus undo information for rollback. The
+/// participant list and operations arrive on a kRemoteExec message; storing
+/// them as copy-on-write vectors shares the message's buffers instead of
+/// deep-copying them into every fragment.
 struct FragmentState {
   TxnId txn = kInvalidTxn;
   NodeId coordinator = kInvalidNode;
-  std::vector<NodeId> participants;
-  std::vector<Operation> ops;
+  CowVector<NodeId> participants;
+  CowVector<Operation> ops;
   std::vector<UndoRecord> undo;
 };
 

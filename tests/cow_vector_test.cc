@@ -1,0 +1,136 @@
+// Unit tests for CowVector and the shared-payload Message semantics built
+// on it: broadcasting and forwarding share one buffer (copies are O(1)),
+// while any mutation detaches, so a forwarder can never corrupt the
+// sender's copy.
+
+#include "common/cow_vector.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+
+namespace ecdb {
+namespace {
+
+TEST(CowVectorTest, DefaultIsEmpty) {
+  CowVector<int> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.vec(), std::vector<int>{});
+}
+
+TEST(CowVectorTest, CopySharesStorage) {
+  CowVector<int> a{1, 2, 3};
+  CowVector<int> b = a;
+  EXPECT_TRUE(b.SharesStorageWith(a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(CowVectorTest, EmptyVectorsDoNotClaimSharing) {
+  CowVector<int> a;
+  CowVector<int> b;
+  EXPECT_FALSE(a.SharesStorageWith(b));  // nothing to share
+}
+
+TEST(CowVectorTest, MutableDetachesFromSharedStorage) {
+  CowVector<int> a{1, 2, 3};
+  CowVector<int> b = a;
+  b.Mutable().push_back(4);
+  EXPECT_FALSE(b.SharesStorageWith(a));
+  EXPECT_EQ(a.size(), 3u);  // the original never sees the write
+  EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(CowVectorTest, MutableWithoutSharingDoesNotReallocate) {
+  CowVector<int> a{1, 2, 3};
+  const int* data = a.vec().data();
+  a.Mutable()[0] = 7;
+  EXPECT_EQ(a.vec().data(), data);  // sole owner mutates in place
+  EXPECT_EQ(a[0], 7);
+}
+
+TEST(CowVectorTest, ComparesAgainstPlainVectors) {
+  CowVector<int> a{1, 2, 3};
+  const std::vector<int> same = {1, 2, 3};
+  EXPECT_TRUE(a == same);
+  EXPECT_TRUE(same == a);
+  EXPECT_FALSE(a == (std::vector<int>{1, 2}));
+}
+
+TEST(CowVectorTest, AssignFromVectorReplacesContents) {
+  CowVector<int> a{1, 2, 3};
+  CowVector<int> b = a;
+  a = std::vector<int>{9, 9};
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);  // b keeps the old buffer
+}
+
+TEST(CowVectorTest, ImplicitConversionFeedsVectorApis) {
+  CowVector<NodeId> participants{0, 1, 2};
+  // Functions taking const std::vector<NodeId>& accept a CowVector as-is;
+  // this is what keeps CommitEngine's public signatures unchanged.
+  const auto take = [](const std::vector<NodeId>& v) { return v.size(); };
+  EXPECT_EQ(take(participants), 3u);
+}
+
+// --- Message payload sharing (ISSUE satellite: forwarding safety) ---
+
+Message MakeGlobalCommit() {
+  Message m;
+  m.type = MsgType::kGlobalCommit;
+  m.src = 0;
+  m.dst = 1;
+  m.txn = MakeTxnId(0, 7);
+  m.participants = {0, 1, 2, 3};
+  m.ops = {Operation{1, 42, AccessMode::kWrite}};
+  return m;
+}
+
+TEST(MessageSharingTest, CopyingAMessageSharesPayloads) {
+  const Message original = MakeGlobalCommit();
+  Message copy = original;
+  EXPECT_TRUE(copy.participants.SharesStorageWith(original.participants));
+  EXPECT_TRUE(copy.ops.SharesStorageWith(original.ops));
+}
+
+TEST(MessageSharingTest, ForwardingCannotMutateSendersList) {
+  // EC cohort forwarding: the forwarder stamps new routing fields on a
+  // copy. Even if it (wrongly) edited the participant list, the sender's
+  // record — sharing the same buffer — must not change.
+  const Message original = MakeGlobalCommit();
+  Message forward = original;
+  forward.src = 1;
+  forward.dst = 2;
+  forward.forwarded = true;
+  forward.participants.Mutable().push_back(99);
+
+  EXPECT_EQ(original.participants.size(), 4u);
+  EXPECT_FALSE(forward.participants.SharesStorageWith(original.participants));
+  EXPECT_EQ(forward.participants.size(), 5u);
+}
+
+TEST(MessageSharingTest, ApproximateBytesAgreesSharedVsDeepCopied) {
+  // The wire-size model must not depend on whether payloads are shared:
+  // a shared broadcast and a per-recipient deep copy describe the same
+  // bytes on the (simulated) wire.
+  const Message original = MakeGlobalCommit();
+  Message shared = original;
+
+  Message deep;
+  deep.type = original.type;
+  deep.src = original.src;
+  deep.dst = original.dst;
+  deep.txn = original.txn;
+  deep.participants = std::vector<NodeId>(original.participants.vec());
+  deep.ops = std::vector<Operation>(original.ops.vec());
+  ASSERT_FALSE(deep.participants.SharesStorageWith(original.participants));
+
+  EXPECT_EQ(shared.ApproximateBytes(), original.ApproximateBytes());
+  EXPECT_EQ(deep.ApproximateBytes(), original.ApproximateBytes());
+}
+
+}  // namespace
+}  // namespace ecdb

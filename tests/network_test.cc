@@ -73,6 +73,37 @@ TEST_F(NetworkTest, CrashedSourceCannotSend) {
   EXPECT_EQ(net_.stats().messages_from_crashed, 1u);
 }
 
+TEST_F(NetworkTest, CrashedSourceSendsAreNotCountedAsTraffic) {
+  // A message from a crashed node never reaches the wire: it must count
+  // ONLY in messages_from_crashed — not in messages_sent, bytes_sent or
+  // the per-type histogram. (An earlier implementation bumped the send
+  // counters before the crash check, inflating protocol message counts
+  // in crash experiments; this pins the fix.)
+  net_.CrashNode(0);
+  net_.Send(Make(0, 1, MsgType::kVoteCommit));
+  sched_.RunAll();
+
+  EXPECT_EQ(net_.stats().messages_from_crashed, 1u);
+  EXPECT_EQ(net_.stats().messages_sent, 0u);
+  EXPECT_EQ(net_.stats().bytes_sent, 0u);
+  EXPECT_EQ(net_.stats().per_type.at(MsgType::kVoteCommit), 0u);
+  EXPECT_EQ(net_.stats().messages_dropped, 0u);
+}
+
+TEST_F(NetworkTest, LiveTrafficStillCountedAlongsideCrashedSends) {
+  net_.CrashNode(0);
+  net_.Send(Make(0, 1, MsgType::kVoteCommit));  // suppressed
+  net_.Send(Make(2, 1, MsgType::kVoteCommit));  // live
+  sched_.RunAll();
+
+  EXPECT_EQ(net_.stats().messages_from_crashed, 1u);
+  EXPECT_EQ(net_.stats().messages_sent, 1u);
+  EXPECT_GT(net_.stats().bytes_sent, 0u);
+  EXPECT_EQ(net_.stats().per_type.at(MsgType::kVoteCommit), 1u);
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].second.src, 2u);
+}
+
 TEST_F(NetworkTest, RecoveredNodeReceivesAgain) {
   net_.CrashNode(1);
   net_.RecoverNode(1);

@@ -2,6 +2,10 @@
 
 #include "sim/scheduler.h"
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -146,6 +150,107 @@ TEST(SchedulerTest, PendingCountExcludesCancelled) {
   EXPECT_EQ(s.PendingCount(), 2u);
   s.Cancel(a);
   EXPECT_EQ(s.PendingCount(), 1u);
+}
+
+TEST(SchedulerTest, RunOneSkipsCancelledHead) {
+  // The cancelled entry sits at the top of the heap; RunOne must discard
+  // it and execute the next live event in the same call.
+  Scheduler s;
+  int ran = 0;
+  const auto head = s.ScheduleAt(5, [&] { ran = 1; });
+  s.ScheduleAt(10, [&] { ran = 2; });
+  s.Cancel(head);
+  EXPECT_TRUE(s.RunOne());
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.Now(), 10u);
+}
+
+TEST(SchedulerTest, RunUntilPastDrainedQueueReturnsZero) {
+  Scheduler s;
+  s.ScheduleAt(10, [] {});
+  EXPECT_EQ(s.RunUntil(50), 1u);
+  EXPECT_EQ(s.RunUntil(200), 0u);  // nothing left: just advance the clock
+  EXPECT_EQ(s.Now(), 200u);
+}
+
+TEST(SchedulerTest, StaleIdOfRecycledSlotIsNotCancellable) {
+  // After an event runs, its storage slot is recycled for the next
+  // schedule. The old TaskId must stay dead: cancelling it may not
+  // return true and — critically — may not kill the slot's new tenant.
+  Scheduler s;
+  const auto old_id = s.ScheduleAfter(1, [] {});
+  s.RunAll();
+  bool ran = false;
+  const auto new_id = s.ScheduleAfter(1, [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);  // same slot, different generation
+  EXPECT_FALSE(s.Cancel(old_id));
+  s.RunAll();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, CancelReleasesCapturedStateImmediately) {
+  // Cancel destroys the captured state right away (matching the old
+  // map-erase semantics) even though the heap entry is reclaimed lazily.
+  Scheduler s;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const auto id = s.ScheduleAfter(10, [t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SchedulerTest, LargeCallablesFallBackToHeap) {
+  // Captures beyond TaskFn's inline buffer take the heap path; behavior
+  // must be identical.
+  Scheduler s;
+  std::array<uint64_t, 32> payload{};  // 256 bytes > inline capacity
+  payload[0] = 11;
+  payload[31] = 22;
+  uint64_t sum = 0;
+  s.ScheduleAfter(1, [payload, &sum] { sum = payload[0] + payload[31]; });
+  s.RunAll();
+  EXPECT_EQ(sum, 33u);
+}
+
+TEST(SchedulerTest, MoveOnlyCallablesAreSupported) {
+  Scheduler s;
+  auto box = std::make_unique<int>(41);
+  int seen = 0;
+  s.ScheduleAfter(1, [b = std::move(box), &seen] { seen = *b + 1; });
+  s.RunAll();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SchedulerTest, RandomizedOrderMatchesReferenceSort) {
+  // Adversarial mix of times, FIFO ties and cancellations: execution
+  // order must equal a stable sort of the surviving events by time.
+  Scheduler s;
+  std::mt19937_64 rng(12345);
+  struct Ref {
+    Micros when;
+    int tag;
+  };
+  std::vector<Ref> expected;
+  std::vector<Scheduler::TaskId> ids;
+  std::vector<int> ran;
+  for (int i = 0; i < 1000; ++i) {
+    const Micros when = rng() % 64;  // dense times force FIFO tie-breaks
+    ids.push_back(s.ScheduleAt(when, [&ran, i] { ran.push_back(i); }));
+    expected.push_back(Ref{when, i});
+  }
+  // Cancel every seventh event.
+  for (size_t i = 0; i < ids.size(); i += 7) {
+    ASSERT_TRUE(s.Cancel(ids[i]));
+  }
+  std::erase_if(expected, [&](const Ref& r) { return r.tag % 7 == 0; });
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Ref& a, const Ref& b) { return a.when < b.when; });
+  s.RunAll();
+  ASSERT_EQ(ran.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(ran[i], expected[i].tag) << "position " << i;
+  }
 }
 
 }  // namespace
