@@ -1,0 +1,144 @@
+// Wall-clock throughput benchmarks for the threaded runtime: real OS
+// threads, real futexes, real time. Two layers are measured:
+//
+//   1. MessageChannel — mailbox burst drain, the per-message cost of the
+//                       node event loop's input path.
+//   2. End to end     — committed transactions per wall-clock second for
+//                       2PC / 3PC / EC on 4- and 8-node YCSB clusters
+//                       (one node thread per partition, as in the paper's
+//                       partition-per-server deployment).
+//
+// The cluster benchmarks use manual timing: each iteration boots a
+// cluster, lets it warm up, then measures the committed-transaction delta
+// over a fixed window, so `items_per_second` is cluster throughput rather
+// than 1/boot-time. `scripts/bench_to_json.py` runs this binary alongside
+// bench_engine and appends both to BENCH_engine.json.
+//
+// The mailbox drain below compiles against both the batched mailbox
+// (PopAll) and its one-at-a-time predecessor, so the same file can be
+// dropped into the pre-change tree for an apples-to-apples baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/thread_node.h"
+#include "net/channel.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace ecdb;
+using Clock = std::chrono::steady_clock;
+
+// --------------------------------------------------------------------------
+// 1. Mailbox
+// --------------------------------------------------------------------------
+
+// Drains everything currently queued in `ch`. Templated so the branch the
+// current tree lacks is discarded, not type-checked.
+template <typename Channel>
+size_t Drain(Channel& ch, std::vector<Message>& buf) {
+  if constexpr (requires { ch.PopAll(&buf, std::chrono::microseconds(0)); }) {
+    ch.PopAll(&buf, std::chrono::microseconds(0));
+    return buf.size();
+  } else {
+    size_t n = 0;
+    Message msg;
+    while (ch.TryPop(&msg)) ++n;
+    return n;
+  }
+}
+
+// Push a burst of `range(0)` messages, then drain the mailbox — the shape
+// of one event-loop turn under load. The batched mailbox pays one lock and
+// one swap for the whole drain; the one-at-a-time path pays a lock (and a
+// front-erase) per message.
+void BM_MailboxBurst(benchmark::State& state) {
+  const size_t burst = static_cast<size_t>(state.range(0));
+  MessageChannel ch;
+  std::vector<Message> buf;
+  Message msg;
+  msg.type = MsgType::kRemoteExecOk;
+  msg.src = 1;
+  msg.dst = 0;
+  size_t drained = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < burst; ++i) {
+      msg.txn = static_cast<TxnId>(i);
+      ch.Push(msg);
+    }
+    drained += Drain(ch, buf);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(drained));
+}
+BENCHMARK(BM_MailboxBurst)->Arg(16)->Arg(256);
+
+// --------------------------------------------------------------------------
+// 2. End-to-end cluster throughput
+// --------------------------------------------------------------------------
+
+void ThreadedYcsb(benchmark::State& state, CommitProtocol protocol) {
+  const uint32_t nodes = static_cast<uint32_t>(state.range(0));
+
+  ThreadClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.clients_per_node = 16;
+  cfg.protocol = protocol;
+  cfg.seed = 7;
+  // Failure-free run: protocol timeouts exist to detect crashes, so set
+  // them far above worst-case scheduling delay (node threads outnumber
+  // cores). A spuriously expired timeout would measure the termination
+  // path, not throughput.
+  cfg.commit.timeout_us = 1'000'000;
+  cfg.commit.termination_window_us = 200'000;
+
+  YcsbConfig ycsb;
+  ycsb.num_partitions = nodes;
+  ycsb.rows_per_partition = 16384;  // modest: keeps bootstrap fast
+  ycsb.partitions_per_txn = 2;
+  ycsb.theta = 0.6;
+
+  uint64_t committed = 0;
+  for (auto _ : state) {
+    ThreadCluster cluster(cfg, std::make_unique<YcsbWorkload>(ycsb));
+    cluster.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));  // warm-up
+    const uint64_t before = cluster.TotalCommitted();
+    const auto t0 = Clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    const uint64_t after = cluster.TotalCommitted();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    cluster.Stop();
+    committed += after - before;
+    state.SetIterationTime(elapsed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+}
+
+void BM_ThreadedYcsb2PC(benchmark::State& state) {
+  ThreadedYcsb(state, CommitProtocol::kTwoPhase);
+}
+void BM_ThreadedYcsb3PC(benchmark::State& state) {
+  ThreadedYcsb(state, CommitProtocol::kThreePhase);
+}
+void BM_ThreadedYcsbEC(benchmark::State& state) {
+  ThreadedYcsb(state, CommitProtocol::kEasyCommit);
+}
+BENCHMARK(BM_ThreadedYcsb2PC)
+    ->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ThreadedYcsb3PC)
+    ->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ThreadedYcsbEC)
+    ->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -32,11 +32,13 @@ def git_commit():
         return "unknown"
 
 
-def run_benchmarks(build_dir, repetitions):
-    binary = os.path.join(REPO_ROOT, build_dir, "bench", "bench_engine")
-    if not os.path.exists(binary):
-        sys.exit(f"benchmark binary not found: {binary} "
-                 "(build the bench_engine target first)")
+#: Benchmark binaries recorded into each snapshot. bench_engine (simulator
+#: hot paths) is required; bench_threaded (wall-clock threaded runtime) is
+#: skipped with a warning when the build predates it.
+BINARIES = [("bench_engine", True), ("bench_threaded", False)]
+
+
+def run_one_binary(binary, repetitions):
     cmd = [
         binary,
         "--benchmark_format=json",
@@ -56,6 +58,22 @@ def run_benchmarks(build_dir, repetitions):
             "items_per_second": bench.get("items_per_second"),
         }
     return {"context": raw.get("context", {}), "results": results}
+
+
+def run_benchmarks(build_dir, repetitions):
+    context, results = {}, {}
+    for name, required in BINARIES:
+        binary = os.path.join(REPO_ROOT, build_dir, "bench", name)
+        if not os.path.exists(binary):
+            if required:
+                sys.exit(f"benchmark binary not found: {binary} "
+                         f"(build the {name} target first)")
+            print(f"note: {binary} not built, skipping", file=sys.stderr)
+            continue
+        snapshot = run_one_binary(binary, repetitions)
+        context = context or snapshot["context"]
+        results.update(snapshot["results"])
+    return {"context": context, "results": results}
 
 
 def load(path):
@@ -100,8 +118,16 @@ def cmd_compare(args):
     new = by_label[args.new]["benchmarks"]
     print(f"{'benchmark':<40} {args.base:>12} {args.new:>12} {'speedup':>9}")
     for name in sorted(set(base) & set(new)):
-        b, n = base[name]["real_time_ns"], new[name]["real_time_ns"]
-        print(f"{name:<40} {b:>10.0f}ns {n:>10.0f}ns {b / n:>8.2f}x")
+        bi = base[name].get("items_per_second")
+        ni = new[name].get("items_per_second")
+        if bi and ni:
+            # Throughput benchmarks (e.g. the fixed-window cluster runs):
+            # items/s is the metric, elapsed time is constant by design.
+            print(f"{name:<40} {bi:>10.0f}/s {ni:>10.0f}/s {ni / bi:>8.2f}x")
+        else:
+            b = base[name]["real_time_ns"]
+            n = new[name]["real_time_ns"]
+            print(f"{name:<40} {b:>10.0f}ns {n:>10.0f}ns {b / n:>8.2f}x")
 
 
 def main():

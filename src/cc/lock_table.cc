@@ -37,14 +37,14 @@ AcquireResult LockTable::Acquire(TxnId txn, uint64_t ts, TableId table,
   // also prevents shared requests starving a queued exclusive).
   if (compatible && entry.queue.empty()) {
     entry.holders.push_back(Holder{txn, mode, ts});
-    held_by_txn_[txn].push_back(id);
+    AddToIndex(held_by_txn_, txn, id);
     return AcquireResult::kGranted;
   }
 
   if (policy_ == CcPolicy::kNoWait) {
     conflict_aborts_++;
-    if (entries_[id].holders.empty() && entries_[id].queue.empty()) {
-      entries_.erase(id);
+    if (entry.holders.empty() && entry.queue.empty()) {
+      entries_.Erase(id);  // freshly created by this request: drop it again
     }
     return AcquireResult::kAbort;
   }
@@ -68,6 +68,7 @@ AcquireResult LockTable::Acquire(TxnId txn, uint64_t ts, TableId table,
     }
   }
   entry.queue.push_back(Waiter{txn, mode, ts, std::move(on_grant)});
+  AddToIndex(waiting_by_txn_, txn, id);
   return AcquireResult::kWaiting;
 }
 
@@ -92,50 +93,91 @@ void LockTable::PromoteWaiters(const LockId& id, Entry& entry,
       }
     } else {
       entry.holders.push_back(Holder{head.txn, head.mode, head.ts});
-      held_by_txn_[head.txn].push_back(id);
+      AddToIndex(held_by_txn_, head.txn, id);
     }
+    RemoveFromIndex(waiting_by_txn_, head.txn, id);
     if (head.on_grant) fired.push_back(std::move(head.on_grant));
-    entry.queue.pop_front();
+    entry.queue.erase(entry.queue.begin());
   }
+}
+
+void LockTable::AddToIndex(FlatMap<TxnId, LockIdList>& index, TxnId txn,
+                           const LockId& id) {
+  auto [list, inserted] = index.Emplace(txn, LockIdList());
+  if (inserted && !spare_lists_.empty()) {
+    *list = std::move(spare_lists_.back());
+    spare_lists_.pop_back();
+  }
+  list->push_back(id);
+}
+
+void LockTable::RemoveFromIndex(FlatMap<TxnId, LockIdList>& index, TxnId txn,
+                                const LockId& id) {
+  LockIdList* list = index.Find(txn);
+  if (list == nullptr) return;
+  auto it = std::find(list->begin(), list->end(), id);
+  if (it == list->end()) return;
+  *it = list->back();
+  list->pop_back();
+  if (list->empty()) {
+    RecycleList(std::move(*list));
+    index.Erase(txn);
+  }
+}
+
+LockTable::LockIdList LockTable::TakeList(FlatMap<TxnId, LockIdList>& index,
+                                          TxnId txn) {
+  LockIdList* list = index.Find(txn);
+  if (list == nullptr) return {};
+  LockIdList taken = std::move(*list);
+  index.Erase(txn);
+  return taken;
 }
 
 void LockTable::ReleaseAll(TxnId txn) {
   std::vector<GrantCallback> fired;
 
-  auto held_it = held_by_txn_.find(txn);
-  if (held_it != held_by_txn_.end()) {
-    for (const LockId& id : held_it->second) {
-      auto entry_it = entries_.find(id);
-      if (entry_it == entries_.end()) continue;
-      Entry& entry = entry_it->second;
-      entry.holders.erase(
-          std::remove_if(entry.holders.begin(), entry.holders.end(),
-                         [&](const Holder& h) { return h.txn == txn; }),
-          entry.holders.end());
-      PromoteWaiters(id, entry, fired);
-      if (entry.holders.empty() && entry.queue.empty()) {
-        entries_.erase(entry_it);
-      }
+  // The lists are moved out before processing: PromoteWaiters re-enters the
+  // indices (new holders, un-waited transactions) and may rehash them, so
+  // no reference into a FlatMap survives across it.
+  LockIdList held = TakeList(held_by_txn_, txn);
+  for (const LockId& id : held) {
+    Entry* entry = entries_.Find(id);
+    if (entry == nullptr) continue;
+    entry->holders.erase(
+        std::remove_if(entry->holders.begin(), entry->holders.end(),
+                       [&](const Holder& h) { return h.txn == txn; }),
+        entry->holders.end());
+    PromoteWaiters(id, *entry, fired);
+    if (entry->holders.empty() && entry->queue.empty()) {
+      entries_.Erase(id);
     }
-    held_by_txn_.erase(held_it);
   }
+  if (!held.empty() || held.capacity() > 0) RecycleList(std::move(held));
 
   // Remove any queued (still waiting) requests from this transaction, e.g.
-  // when a waiting transaction is aborted by the protocol.
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    Entry& entry = it->second;
-    const size_t before = entry.queue.size();
-    entry.queue.erase(
-        std::remove_if(entry.queue.begin(), entry.queue.end(),
-                       [&](const Waiter& w) { return w.txn == txn; }),
-        entry.queue.end());
-    if (entry.queue.size() != before) {
-      PromoteWaiters(it->first, entry, fired);
+  // when a waiting transaction is aborted by the protocol. The waiting
+  // index points straight at the affected entries; under NO_WAIT it is
+  // always empty and this whole phase is skipped.
+  if (policy_ == CcPolicy::kWaitDie) {
+    LockIdList waited = TakeList(waiting_by_txn_, txn);
+    for (const LockId& id : waited) {
+      Entry* entry = entries_.Find(id);
+      if (entry == nullptr) continue;
+      const size_t before = entry->queue.size();
+      entry->queue.erase(
+          std::remove_if(entry->queue.begin(), entry->queue.end(),
+                         [&](const Waiter& w) { return w.txn == txn; }),
+          entry->queue.end());
+      if (entry->queue.size() != before) {
+        PromoteWaiters(id, *entry, fired);
+      }
+      if (entry->holders.empty() && entry->queue.empty()) {
+        entries_.Erase(id);
+      }
     }
-    if (entry.holders.empty() && entry.queue.empty()) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+    if (!waited.empty() || waited.capacity() > 0) {
+      RecycleList(std::move(waited));
     }
   }
 
@@ -144,8 +186,8 @@ void LockTable::ReleaseAll(TxnId txn) {
 }
 
 size_t LockTable::HeldCount(TxnId txn) const {
-  auto it = held_by_txn_.find(txn);
-  return it == held_by_txn_.end() ? 0 : it->second.size();
+  const LockIdList* list = held_by_txn_.Find(txn);
+  return list == nullptr ? 0 : list->size();
 }
 
 }  // namespace ecdb

@@ -2,13 +2,12 @@
 #define ECDB_CC_LOCK_TABLE_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/operation.h"
 #include "common/types.h"
+#include "sim/task.h"
 
 namespace ecdb {
 
@@ -41,11 +40,24 @@ enum class CcPolicy : uint8_t {
 /// Both policies are deadlock-free by construction: NO_WAIT never waits and
 /// WAIT_DIE only lets older transactions wait for younger holders, so the
 /// waits-for graph cannot contain a cycle.
+///
+/// Hot-path layout: entries and the per-transaction held/waiting indices
+/// live in open-addressing FlatMaps (no per-node allocation, no bucket
+/// chains), grant callbacks are inline TaskFns (no std::function heap
+/// spill), and ReleaseAll touches only the entries its transaction actually
+/// holds or awaits — the waiting index replaces the previous
+/// scan-every-entry queue cleanup.
 class LockTable {
  public:
-  using GrantCallback = std::function<void()>;
+  /// Inline, move-only grant callback (WAIT_DIE). TaskFn's 104-byte buffer
+  /// absorbs every capture the runtimes use, so queueing a waiter does not
+  /// heap-allocate the way std::function did.
+  using GrantCallback = TaskFn;
 
-  explicit LockTable(CcPolicy policy) : policy_(policy) {}
+  explicit LockTable(CcPolicy policy) : policy_(policy) {
+    entries_.Reserve(256);
+    held_by_txn_.Reserve(64);
+  }
 
   CcPolicy policy() const { return policy_; }
 
@@ -58,7 +70,7 @@ class LockTable {
   /// immediately; a shared->exclusive upgrade succeeds only when the
   /// transaction is the sole holder, and otherwise follows the policy.
   AcquireResult Acquire(TxnId txn, uint64_t ts, TableId table, Key key,
-                        LockMode mode, GrantCallback on_grant = nullptr);
+                        LockMode mode, GrantCallback on_grant = {});
 
   /// Releases every lock held or awaited by `txn`, granting queued
   /// compatible requests. Grant callbacks run inside this call.
@@ -75,8 +87,8 @@ class LockTable {
 
  private:
   struct LockId {
-    TableId table;
-    Key key;
+    TableId table = 0;
+    Key key = 0;
     bool operator==(const LockId&) const = default;
   };
   struct LockIdHash {
@@ -99,8 +111,9 @@ class LockTable {
   };
   struct Entry {
     std::vector<Holder> holders;
-    std::deque<Waiter> queue;
+    std::vector<Waiter> queue;  // FIFO; head at index 0
   };
+  using LockIdList = std::vector<LockId>;
 
   static bool Compatible(LockMode held, LockMode requested) {
     return held == LockMode::kShared && requested == LockMode::kShared;
@@ -110,9 +123,33 @@ class LockTable {
   void PromoteWaiters(const LockId& id, Entry& entry,
                       std::vector<GrantCallback>& fired);
 
+  /// Appends `id` to `txn`'s list in `index`, recycling pooled capacity.
+  void AddToIndex(FlatMap<TxnId, LockIdList>& index, TxnId txn,
+                  const LockId& id);
+
+  /// Removes one occurrence of `id` from `txn`'s list in `index`.
+  void RemoveFromIndex(FlatMap<TxnId, LockIdList>& index, TxnId txn,
+                       const LockId& id);
+
+  /// Moves `txn`'s list out of `index` (empty when absent) so the caller
+  /// can iterate it safely while the index is mutated.
+  LockIdList TakeList(FlatMap<TxnId, LockIdList>& index, TxnId txn);
+
+  void RecycleList(LockIdList&& list) {
+    list.clear();
+    spare_lists_.push_back(std::move(list));
+  }
+
   CcPolicy policy_;
-  std::unordered_map<LockId, Entry, LockIdHash> entries_;
-  std::unordered_map<TxnId, std::vector<LockId>> held_by_txn_;
+  FlatMap<LockId, Entry, LockIdHash> entries_;
+  FlatMap<TxnId, LockIdList> held_by_txn_;
+  /// WAIT_DIE only: the entries on whose queue each transaction currently
+  /// waits. Lets ReleaseAll remove queued requests without scanning every
+  /// entry (under NO_WAIT it stays empty and the phase is skipped).
+  FlatMap<TxnId, LockIdList> waiting_by_txn_;
+  /// Recycled LockId lists: per-transaction index entries come and go with
+  /// every attempt, so their heap buffers are pooled.
+  std::vector<LockIdList> spare_lists_;
   uint64_t conflict_aborts_ = 0;
 };
 

@@ -64,16 +64,18 @@ void ThreadNode::Loop() {
   for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
     StartNewClientTxn(slot);
   }
-  Message msg;
+  std::vector<Message> inbox;  // recycled: PopAll swaps its capacity in
   while (running_.load(std::memory_order_relaxed)) {
     if (crash_requested_.exchange(false)) {
       // Volatile state is lost (the WAL object survives: stable storage).
       crashed_.store(true);
-      attempts_.clear();
-      fragments_.clear();
+      attempts_.Clear();
+      attempt_pool_.clear();
+      free_attempt_slots_.clear();
+      fragments_.Clear();
       pending_rollbacks_.clear();
-      timers_.clear();
-      protocol_timers_.clear();
+      timers_.Clear();
+      protocol_timers_.Clear();
       locks_ = LockTable(config_.cc_policy);
       engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                                config_.commit);
@@ -112,17 +114,32 @@ void ThreadNode::Loop() {
       }
     }
 
-    const bool got = network_->channel(id_).Pop(&msg, 1ms);
-    // Fail-stop takes effect the instant the network is cut, even if the
-    // crash request has not been drained yet: processing one more message
-    // (or applying a decision whose broadcast was just dropped) would
-    // violate the transmit-before-commit discipline.
-    if (crashed_.load(std::memory_order_relaxed) ||
-        network_->IsCrashed(id_)) {
-      continue;
+    // Sleep no longer than the earliest timer deadline, capped at 1ms so
+    // crash/stop requests are still observed promptly.
+    Micros wait_us = 1000;
+    Micros deadline = 0;
+    if (timers_.PeekDeadline(&deadline)) {
+      const Micros now = NowUs();
+      wait_us = deadline <= now ? 0 : std::min<Micros>(1000, deadline - now);
     }
-    if (got) HandleMessage(msg);
-    FireDueTimers();
+    network_->channel(id_).PopAll(&inbox,
+                                  std::chrono::microseconds(wait_us));
+    for (const Message& msg : inbox) {
+      // Fail-stop takes effect the instant the network is cut, even if the
+      // crash request has not been drained yet: processing one more message
+      // (or applying a decision whose broadcast was just dropped) would
+      // violate the transmit-before-commit discipline. Checked per message
+      // so a crash arriving mid-batch drops the remainder of the batch.
+      if (crashed_.load(std::memory_order_relaxed) ||
+          network_->IsCrashed(id_)) {
+        break;
+      }
+      HandleMessage(msg);
+    }
+    if (!crashed_.load(std::memory_order_relaxed) &&
+        !network_->IsCrashed(id_)) {
+      FireDueTimers();
+    }
   }
 }
 
@@ -151,26 +168,23 @@ void ThreadNode::HandleMessage(const Message& msg) {
 // --------------------------------------------------------------------------
 
 void ThreadNode::ScheduleTimer(Micros deadline, Timer timer) {
-  auto it = timers_.emplace(deadline, timer);
-  if (timer.kind == TimerKind::kProtocol) protocol_timers_[timer.txn] = it;
+  const TimerHeap::Id id = timers_.Schedule(deadline, timer);
+  if (timer.kind == TimerKind::kProtocol) protocol_timers_[timer.txn] = id;
 }
 
 void ThreadNode::FireDueTimers() {
   const Micros now = NowUs();
-  while (!timers_.empty() && timers_.begin()->first <= now) {
-    const Timer timer = timers_.begin()->second;
-    if (timer.kind == TimerKind::kProtocol) {
-      protocol_timers_.erase(timer.txn);
-    }
-    timers_.erase(timers_.begin());
+  Timer timer{TimerKind::kProtocol, kInvalidTxn, 0};
+  while (timers_.PopDue(now, &timer)) {
     switch (timer.kind) {
       case TimerKind::kProtocol:
+        protocol_timers_.Erase(timer.txn);
         engine_->OnTimeout(timer.txn);
         break;
       case TimerKind::kExec: {
-        auto it = attempts_.find(timer.txn);
-        if (it != attempts_.end() && !it->second.protocol_started &&
-            it->second.pending_remote != kInvalidNode) {
+        AttemptState* attempt = FindAttempt(timer.txn);
+        if (attempt != nullptr && !attempt->protocol_started &&
+            attempt->pending_remote != kInvalidNode) {
           AbortAttempt(timer.txn, /*send_rollbacks=*/true);
         }
         break;
@@ -180,6 +194,61 @@ void ThreadNode::FireDueTimers() {
         break;
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Attempt pool
+// --------------------------------------------------------------------------
+
+void ThreadNode::AttemptState::Reset() {
+  slot = 0;
+  local_ops.clear();
+  for (size_t i = 0; i < num_remotes; ++i) {
+    remotes[i].node = kInvalidNode;
+    remotes[i].ops.clear();
+    remotes[i].ok = false;
+  }
+  num_remotes = 0;
+  next_remote = 0;
+  local_undo.clear();
+  pending_remote = kInvalidNode;
+  participants.clear();
+  has_writes = false;
+  protocol_started = false;
+  aborting = false;
+}
+
+ThreadNode::RemoteFragment* ThreadNode::AttemptState::FindRemote(NodeId node) {
+  for (size_t i = 0; i < num_remotes; ++i) {
+    if (remotes[i].node == node) return &remotes[i];
+  }
+  return nullptr;
+}
+
+ThreadNode::AttemptState& ThreadNode::NewAttempt(TxnId txn) {
+  uint32_t idx;
+  if (free_attempt_slots_.empty()) {
+    idx = static_cast<uint32_t>(attempt_pool_.size());
+    attempt_pool_.emplace_back();
+  } else {
+    idx = free_attempt_slots_.back();
+    free_attempt_slots_.pop_back();
+  }
+  attempts_.Emplace(txn, uint32_t(idx));
+  return attempt_pool_[idx];
+}
+
+ThreadNode::AttemptState* ThreadNode::FindAttempt(TxnId txn) {
+  uint32_t* idx = attempts_.Find(txn);
+  return idx == nullptr ? nullptr : &attempt_pool_[*idx];
+}
+
+void ThreadNode::EraseAttempt(TxnId txn) {
+  uint32_t* idx = attempts_.Find(txn);
+  if (idx == nullptr) return;
+  attempt_pool_[*idx].Reset();
+  free_attempt_slots_.push_back(*idx);
+  attempts_.Erase(txn);
 }
 
 // --------------------------------------------------------------------------
@@ -196,10 +265,10 @@ void ThreadNode::Log(TxnId txn, LogRecordType type) {
   record.txn = txn;
   record.type = type;
   if (type == LogRecordType::kBeginCommit || type == LogRecordType::kReady) {
-    if (auto it = attempts_.find(txn); it != attempts_.end()) {
-      record.participants = it->second.participants;
-    } else if (auto fit = fragments_.find(txn); fit != fragments_.end()) {
-      record.participants = fit->second.participants;
+    if (AttemptState* attempt = FindAttempt(txn); attempt != nullptr) {
+      record.participants = attempt->participants;
+    } else if (FragmentState* frag = fragments_.Find(txn); frag != nullptr) {
+      record.participants = frag->participants;
     }
   }
   wal_->Append(std::move(record));
@@ -212,14 +281,14 @@ void ThreadNode::ArmTimer(TxnId txn, Micros delay_us) {
 }
 
 void ThreadNode::CancelTimer(TxnId txn) {
-  auto it = protocol_timers_.find(txn);
-  if (it == protocol_timers_.end()) return;
-  timers_.erase(it->second);
-  protocol_timers_.erase(it);
+  TimerHeap::Id* id = protocol_timers_.Find(txn);
+  if (id == nullptr) return;
+  timers_.Cancel(*id);
+  protocol_timers_.Erase(txn);
 }
 
 Decision ThreadNode::VoteFor(TxnId txn) {
-  return fragments_.count(txn) > 0 ? Decision::kCommit : Decision::kAbort;
+  return fragments_.Contains(txn) ? Decision::kCommit : Decision::kAbort;
 }
 
 void ThreadNode::ApplyDecision(TxnId txn, Decision decision) {
@@ -228,33 +297,32 @@ void ThreadNode::ApplyDecision(TxnId txn, Decision decision) {
   if (network_->IsCrashed(id_)) return;
   if (monitor_ != nullptr) monitor_->RecordApplied(txn, id_, decision);
 
-  auto ait = attempts_.find(txn);
-  if (ait != attempts_.end()) {
-    AttemptState& attempt = ait->second;
+  AttemptState* attempt = FindAttempt(txn);
+  if (attempt != nullptr) {
     if (decision == Decision::kAbort) {
-      UndoWrites(attempt.local_undo);
-      attempt.local_undo.clear();
+      UndoWrites(attempt->local_undo);
+      attempt->local_undo.clear();
       stats_.txns_aborted++;
       if (quiesce_.load(std::memory_order_relaxed)) {
-        clients_[attempt.slot].idle = true;
+        clients_[attempt->slot].idle = true;
       } else {
-        const uint32_t shift = std::min(clients_[attempt.slot].attempts,
+        const uint32_t shift = std::min(clients_[attempt->slot].attempts,
                                         config_.backoff_max_shift);
         const Micros backoff = static_cast<Micros>(
             rng_.NextDouble() * static_cast<double>(config_.backoff_base_us) *
             static_cast<double>(1ULL << shift));
         ScheduleTimer(NowUs() + backoff,
-                      Timer{TimerKind::kRetry, kInvalidTxn, attempt.slot});
+                      Timer{TimerKind::kRetry, kInvalidTxn, attempt->slot});
       }
     } else {
       FinishCommitted(txn);
     }
     return;
   }
-  auto fit = fragments_.find(txn);
-  if (fit != fragments_.end() && decision == Decision::kAbort) {
-    UndoWrites(fit->second.undo);
-    fit->second.undo.clear();
+  FragmentState* frag = fragments_.Find(txn);
+  if (frag != nullptr && decision == Decision::kAbort) {
+    UndoWrites(frag->undo);
+    frag->undo.clear();
   }
 }
 
@@ -266,8 +334,8 @@ void ThreadNode::OnBlocked(TxnId txn) {
 
 void ThreadNode::OnCleanup(TxnId txn) {
   locks_.ReleaseAll(txn);
-  attempts_.erase(txn);
-  fragments_.erase(txn);
+  EraseAttempt(txn);
+  fragments_.Erase(txn);
 }
 
 // --------------------------------------------------------------------------
@@ -288,35 +356,41 @@ void ThreadNode::StartAttempt(uint32_t slot) {
   client.attempts++;
   const TxnId txn = txn_ids_.Next();
 
-  AttemptState attempt;
+  AttemptState& attempt = NewAttempt(txn);
   attempt.slot = slot;
   attempt.has_writes = client.request.HasWrites();
   for (const Operation& op : client.request.ops) {
     const PartitionId part = partitioner_.PartitionOf(op.key);
     if (part == id_) {
       attempt.local_ops.push_back(op);
-    } else {
-      attempt.remote_ops[part].push_back(op);
+      continue;
     }
+    RemoteFragment* frag = attempt.FindRemote(part);
+    if (frag == nullptr) {
+      if (attempt.num_remotes == attempt.remotes.size()) {
+        attempt.remotes.emplace_back();
+      }
+      frag = &attempt.remotes[attempt.num_remotes++];
+      frag->node = part;
+    }
+    frag->ops.push_back(op);
   }
+  std::sort(attempt.remotes.begin(),
+            attempt.remotes.begin() + attempt.num_remotes,
+            [](const RemoteFragment& a, const RemoteFragment& b) {
+              return a.node < b.node;
+            });
   attempt.participants.push_back(id_);
-  for (const auto& [node, ops] : attempt.remote_ops) {
-    attempt.participants.push_back(node);
-    attempt.remote_order.push_back(node);
+  for (size_t i = 0; i < attempt.num_remotes; ++i) {
+    attempt.participants.push_back(attempt.remotes[i].node);
   }
-  std::sort(attempt.participants.begin() + 1, attempt.participants.end());
-  std::sort(attempt.remote_order.begin(), attempt.remote_order.end());
-
-  auto [it, inserted] = attempts_.emplace(txn, std::move(attempt));
-  AttemptState& a = it->second;
-  (void)inserted;
 
   const uint64_t ts = next_priority_ts_++;
-  if (!ExecuteOps(txn, ts, a.local_ops, &a.local_undo)) {
+  if (!ExecuteOps(txn, ts, attempt.local_ops, &attempt.local_undo)) {
     AbortAttempt(txn, /*send_rollbacks=*/false);
     return;
   }
-  if (a.remote_ops.empty()) {
+  if (attempt.num_remotes == 0) {
     CompleteWithoutProtocol(txn);
     return;
   }
@@ -326,24 +400,31 @@ void ThreadNode::StartAttempt(uint32_t slot) {
 }
 
 void ThreadNode::SendNextFragment(TxnId txn) {
-  auto it = attempts_.find(txn);
-  if (it == attempts_.end()) return;
-  AttemptState& attempt = it->second;
-  const NodeId node = attempt.remote_order[attempt.next_remote++];
-  attempt.pending_remote = node;
+  AttemptState* attempt = FindAttempt(txn);
+  if (attempt == nullptr) return;
+  RemoteFragment& frag = attempt->remotes[attempt->next_remote++];
+  attempt->pending_remote = frag.node;
   Message msg;
   msg.type = MsgType::kRemoteExec;
   msg.txn = txn;
-  msg.dst = node;
-  msg.ops = attempt.remote_ops[node];
-  msg.participants = attempt.participants;
-  msg.txn_has_writes = attempt.has_writes;
+  msg.dst = frag.node;
+  msg.ops = frag.ops;
+  msg.participants = attempt->participants;
+  msg.txn_has_writes = attempt->has_writes;
   msg.priority_ts = next_priority_ts_;
   Send(std::move(msg));
 }
 
 void ThreadNode::HandleRemoteExec(const Message& msg) {
-  if (pending_rollbacks_.erase(msg.txn) > 0) return;
+  // A rollback can outrun the exec request it cancels; the stash turns
+  // the late exec into a no-op.
+  auto pending = std::find(pending_rollbacks_.begin(),
+                           pending_rollbacks_.end(), msg.txn);
+  if (pending != pending_rollbacks_.end()) {
+    *pending = pending_rollbacks_.back();
+    pending_rollbacks_.pop_back();
+    return;
+  }
   std::vector<UndoRecord> undo;
   Message reply;
   reply.txn = msg.txn;
@@ -367,8 +448,8 @@ void ThreadNode::HandleRemoteExec(const Message& msg) {
 }
 
 void ThreadNode::HandleRemoteExecReply(const Message& msg, bool ok) {
-  auto it = attempts_.find(msg.txn);
-  if (it == attempts_.end() || it->second.aborting) {
+  AttemptState* attempt = FindAttempt(msg.txn);
+  if (attempt == nullptr || attempt->aborting) {
     if (ok) {
       Message rollback;
       rollback.type = MsgType::kRemoteRollback;
@@ -378,11 +459,12 @@ void ThreadNode::HandleRemoteExecReply(const Message& msg, bool ok) {
     }
     return;
   }
-  AttemptState& attempt = it->second;
-  if (attempt.pending_remote == msg.src) attempt.pending_remote = kInvalidNode;
+  if (attempt->pending_remote == msg.src) {
+    attempt->pending_remote = kInvalidNode;
+  }
   if (ok) {
-    attempt.ok_remote.insert(msg.src);
-    if (attempt.next_remote < attempt.remote_order.size()) {
+    if (RemoteFragment* frag = attempt->FindRemote(msg.src)) frag->ok = true;
+    if (attempt->next_remote < attempt->num_remotes) {
       SendNextFragment(msg.txn);
     } else {
       AllFragmentsReady(msg.txn);
@@ -393,54 +475,55 @@ void ThreadNode::HandleRemoteExecReply(const Message& msg, bool ok) {
 }
 
 void ThreadNode::HandleRemoteRollback(const Message& msg) {
-  auto it = fragments_.find(msg.txn);
-  if (it == fragments_.end()) {
-    pending_rollbacks_.insert(msg.txn);
+  FragmentState* frag = fragments_.Find(msg.txn);
+  if (frag == nullptr) {
+    if (std::find(pending_rollbacks_.begin(), pending_rollbacks_.end(),
+                  msg.txn) == pending_rollbacks_.end()) {
+      pending_rollbacks_.push_back(msg.txn);
+    }
     return;
   }
-  UndoWrites(it->second.undo);
+  UndoWrites(frag->undo);
   locks_.ReleaseAll(msg.txn);
-  fragments_.erase(it);
+  fragments_.Erase(msg.txn);
   engine_->Forget(msg.txn);
 }
 
 void ThreadNode::AllFragmentsReady(TxnId txn) {
-  auto it = attempts_.find(txn);
-  if (it == attempts_.end()) return;
-  AttemptState& attempt = it->second;
-  if (!attempt.has_writes) {
+  AttemptState* attempt = FindAttempt(txn);
+  if (attempt == nullptr) return;
+  if (!attempt->has_writes) {
     CompleteWithoutProtocol(txn);
     return;
   }
-  attempt.protocol_started = true;
+  attempt->protocol_started = true;
   stats_.commit_protocol_runs++;
-  engine_->StartCommit(txn, attempt.participants, Decision::kCommit);
+  engine_->StartCommit(txn, attempt->participants, Decision::kCommit);
 }
 
 void ThreadNode::AbortAttempt(TxnId txn, bool send_rollbacks) {
-  auto it = attempts_.find(txn);
-  if (it == attempts_.end()) return;
-  AttemptState& attempt = it->second;
-  if (attempt.aborting || attempt.protocol_started) return;
-  attempt.aborting = true;
-  UndoWrites(attempt.local_undo);
+  AttemptState* attempt = FindAttempt(txn);
+  if (attempt == nullptr) return;
+  if (attempt->aborting || attempt->protocol_started) return;
+  attempt->aborting = true;
+  UndoWrites(attempt->local_undo);
   locks_.ReleaseAll(txn);
   if (send_rollbacks) {
-    std::unordered_set<NodeId> targets = attempt.ok_remote;
-    if (attempt.pending_remote != kInvalidNode) {
-      targets.insert(attempt.pending_remote);
-    }
-    for (NodeId node : targets) {
+    // Everyone who acknowledged plus the one still in flight; nodes are
+    // unique and pending_remote's ok flag is still false, so no dupes.
+    for (size_t i = 0; i < attempt->num_remotes; ++i) {
+      const RemoteFragment& frag = attempt->remotes[i];
+      if (!frag.ok && frag.node != attempt->pending_remote) continue;
       Message msg;
       msg.type = MsgType::kRemoteRollback;
       msg.txn = txn;
-      msg.dst = node;
+      msg.dst = frag.node;
       Send(std::move(msg));
     }
   }
   stats_.txns_aborted++;
-  const uint32_t slot = attempt.slot;
-  attempts_.erase(it);
+  const uint32_t slot = attempt->slot;
+  EraseAttempt(txn);
   if (quiesce_.load(std::memory_order_relaxed)) {
     clients_[slot].idle = true;
     return;
@@ -454,30 +537,34 @@ void ThreadNode::AbortAttempt(TxnId txn, bool send_rollbacks) {
 }
 
 void ThreadNode::CompleteWithoutProtocol(TxnId txn) {
-  auto it = attempts_.find(txn);
-  if (it == attempts_.end()) return;
+  AttemptState* attempt = FindAttempt(txn);
+  if (attempt == nullptr) return;
   locks_.ReleaseAll(txn);
-  for (NodeId node : it->second.ok_remote) {
+  for (size_t i = 0; i < attempt->num_remotes; ++i) {
+    if (!attempt->remotes[i].ok) continue;
     Message msg;
     msg.type = MsgType::kRemoteRollback;  // read-lock release
     msg.txn = txn;
-    msg.dst = node;
+    msg.dst = attempt->remotes[i].node;
     Send(std::move(msg));
   }
-  FinishCommitted(txn);
-  attempts_.erase(txn);
+  FinishCommitted(txn);  // may start a new attempt: `attempt` is dead here
+  EraseAttempt(txn);
 }
 
 void ThreadNode::FinishCommitted(TxnId txn) {
-  auto it = attempts_.find(txn);
-  if (it == attempts_.end()) return;
-  ClientSlot& client = clients_[it->second.slot];
+  AttemptState* attempt = FindAttempt(txn);
+  if (attempt == nullptr) return;
+  const uint32_t slot = attempt->slot;
+  ClientSlot& client = clients_[slot];
   stats_.txns_committed++;
   committed_.fetch_add(1, std::memory_order_relaxed);
   stats_.latency.Record(NowUs() - client.first_start_us);
   client.idle = true;
+  // StartNewClientTxn allocates from the attempt pool, invalidating
+  // `attempt` — which is why the slot was copied out above.
   if (!quiesce_.load(std::memory_order_relaxed)) {
-    StartNewClientTxn(it->second.slot);
+    StartNewClientTxn(slot);
   }
 }
 

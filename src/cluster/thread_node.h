@@ -3,12 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <map>
 #include <memory>
 #include <string>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cc/lock_table.h"
@@ -16,6 +13,7 @@
 #include "commit/commit_engine.h"
 #include "commit/commit_env.h"
 #include "commit/invariants.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "net/channel.h"
 #include "stats/metrics.h"
@@ -51,6 +49,12 @@ struct ThreadClusterConfig {
 /// cross-node communication goes through ThreadNetwork channels. The same
 /// CommitEngine used by the simulator runs here against wall-clock timers,
 /// demonstrating that the protocol implementation is runtime-agnostic.
+///
+/// The event loop is batched: each iteration drains the whole mailbox with
+/// one lock acquisition (MessageChannel::PopAll), fires due timers once per
+/// batch, and sleeps no longer than the earliest timer deadline. Per-txn
+/// bookkeeping lives in flat structures — a pooled AttemptState array and
+/// open-addressing FlatMap indices — so the steady state allocates nothing.
 class ThreadNode : public CommitEnv {
  public:
   ThreadNode(NodeId id, const ThreadClusterConfig& config,
@@ -109,20 +113,40 @@ class ThreadNode : public CommitEnv {
     uint32_t attempts = 0;
     bool idle = true;
   };
+
+  /// One remote partition's slice of an attempt. Entries are pooled along
+  /// with their AttemptState: Reset() clears the ops but keeps the vector's
+  /// capacity, so a recycled attempt re-fills them without allocating.
+  struct RemoteFragment {
+    NodeId node = kInvalidNode;
+    std::vector<Operation> ops;
+    bool ok = false;  // replied kRemoteExecOk
+  };
+
+  /// Coordinator-side state of one transaction attempt. Instances live in
+  /// a pool (attempt_pool_) indexed by attempts_; they are recycled via
+  /// Reset() rather than destroyed, so their vectors' capacities survive
+  /// across transactions and the steady state performs no allocation.
   struct AttemptState {
     uint32_t slot = 0;
     std::vector<Operation> local_ops;
-    std::unordered_map<NodeId, std::vector<Operation>> remote_ops;
-    std::vector<NodeId> remote_order;
+    /// Remote slices, sorted by node; only the first num_remotes entries
+    /// are live (the tail keeps recycled capacity).
+    std::vector<RemoteFragment> remotes;
+    size_t num_remotes = 0;
     size_t next_remote = 0;
     std::vector<UndoRecord> local_undo;
-    std::unordered_set<NodeId> ok_remote;
     NodeId pending_remote = kInvalidNode;
     std::vector<NodeId> participants;
     bool has_writes = false;
     bool protocol_started = false;
     bool aborting = false;
+
+    /// Clears live state but keeps every vector's capacity for reuse.
+    void Reset();
+    RemoteFragment* FindRemote(NodeId node);
   };
+
   enum class TimerKind : uint8_t { kProtocol, kExec, kRetry };
   struct Timer {
     TimerKind kind;
@@ -130,11 +154,168 @@ class ThreadNode : public CommitEnv {
     uint32_t slot = 0;
   };
 
+  /// Wall-clock timer queue: the simulator scheduler's generation-slot
+  /// 4-ary heap (src/sim/scheduler.h), specialized for POD Timer payloads.
+  /// Schedule is a heap push with no node allocation, Cancel is O(1) lazy
+  /// (stale entries are skipped at pop time), and PeekDeadline lets the
+  /// event loop sleep exactly until the next due timer. This replaces a
+  /// std::multimap wheel that paid a red-black-tree node allocation per
+  /// timer plus an iterator side-table for cancellation.
+  class TimerHeap {
+   public:
+    using Id = uint64_t;  // (slot << 32) | generation; 0 = unset
+
+    Id Schedule(Micros when, Timer timer) {
+      uint32_t slot;
+      if (free_.empty()) {
+        slot = static_cast<uint32_t>(slots_.size());
+        slots_.emplace_back();
+      } else {
+        slot = free_.back();
+        free_.pop_back();
+      }
+      Slot& s = slots_[slot];
+      s.timer = timer;
+      const Id id = (static_cast<Id>(slot) << 32) | s.gen;
+      heap_.push_back(Entry{when, next_seq_++, id});
+      SiftUp(heap_.size() - 1);
+      ++live_;
+      return id;
+    }
+
+    /// Returns false if the timer already fired or was cancelled.
+    bool Cancel(Id id) {
+      const uint32_t slot = static_cast<uint32_t>(id >> 32);
+      if (slot >= slots_.size() || slots_[slot].gen != static_cast<uint32_t>(id)) {
+        return false;
+      }
+      Retire(slot);
+      --live_;
+      return true;
+    }
+
+    /// Earliest live deadline, if any timer is pending.
+    bool PeekDeadline(Micros* when) {
+      const Entry* head = PeekLive();
+      if (head == nullptr) return false;
+      *when = head->when;
+      return true;
+    }
+
+    /// Pops the earliest live timer if its deadline is <= now.
+    bool PopDue(Micros now, Timer* out) {
+      const Entry* head = PeekLive();
+      if (head == nullptr || head->when > now) return false;
+      const uint32_t slot = static_cast<uint32_t>(head->id >> 32);
+      *out = slots_[slot].timer;
+      Retire(slot);
+      --live_;
+      PopHeap();
+      return true;
+    }
+
+    /// Drops everything, including slot generations — only valid when all
+    /// outstanding Ids are discarded too (crash wipes protocol_timers_).
+    void Clear() {
+      heap_.clear();
+      slots_.clear();
+      free_.clear();
+      live_ = 0;
+    }
+
+    size_t pending() const { return live_; }
+
+   private:
+    struct Entry {
+      Micros when;
+      uint64_t seq;
+      Id id;
+    };
+    struct Slot {
+      uint32_t gen = 1;  // never 0: Id 0 stays an "unset" sentinel
+      Timer timer{TimerKind::kProtocol, kInvalidTxn, 0};
+    };
+
+    static bool Earlier(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when < b.when;
+      return a.seq < b.seq;  // FIFO among same-deadline timers
+    }
+
+    const Entry* PeekLive() {
+      while (!heap_.empty()) {
+        const Entry& head = heap_[0];
+        const uint32_t slot = static_cast<uint32_t>(head.id >> 32);
+        if (slots_[slot].gen == static_cast<uint32_t>(head.id)) return &head;
+        PopHeap();  // stale: cancelled (or slot since recycled)
+      }
+      return nullptr;
+    }
+
+    void PopHeap() {
+      const size_t last = heap_.size() - 1;
+      if (last > 0) {
+        heap_[0] = heap_[last];
+        heap_.pop_back();
+        SiftDown(0);
+      } else {
+        heap_.pop_back();
+      }
+    }
+
+    void Retire(uint32_t slot) {
+      Slot& s = slots_[slot];
+      if (++s.gen == 0) s.gen = 1;
+      free_.push_back(slot);
+    }
+
+    void SiftUp(size_t i) {
+      const Entry e = heap_[i];
+      while (i > 0) {
+        const size_t parent = (i - 1) >> 2;
+        if (!Earlier(e, heap_[parent])) break;
+        heap_[i] = heap_[parent];
+        i = parent;
+      }
+      heap_[i] = e;
+    }
+
+    void SiftDown(size_t i) {
+      const size_t n = heap_.size();
+      const Entry e = heap_[i];
+      for (;;) {
+        const size_t first = 4 * i + 1;
+        if (first >= n) break;
+        size_t best = first;
+        const size_t limit = first + 4 < n ? first + 4 : n;
+        for (size_t c = first + 1; c < limit; ++c) {
+          if (Earlier(heap_[c], heap_[best])) best = c;
+        }
+        if (!Earlier(heap_[best], e)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = e;
+    }
+
+    uint64_t next_seq_ = 0;
+    size_t live_ = 0;
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<uint32_t> free_;
+  };
+
   void Loop();
   Micros NowUs() const;
   void HandleMessage(const Message& msg);
   void FireDueTimers();
   void ScheduleTimer(Micros deadline, Timer timer);
+
+  // Attempt pool. Pointers/references into the pool are invalidated by
+  // NewAttempt (growth) — never hold one across a call that may start a
+  // new attempt (StartNewClientTxn / StartAttempt).
+  AttemptState& NewAttempt(TxnId txn);
+  AttemptState* FindAttempt(TxnId txn);
+  void EraseAttempt(TxnId txn);
 
   // Coordinator paths (mirrors SimNode, synchronous execution).
   void StartNewClientTxn(uint32_t slot);
@@ -169,16 +350,21 @@ class ThreadNode : public CommitEnv {
   std::unique_ptr<CommitEngine> engine_;
 
   std::vector<ClientSlot> clients_;
-  std::unordered_map<TxnId, AttemptState> attempts_;
-  std::unordered_map<TxnId, FragmentState> fragments_;
-  std::unordered_set<TxnId> pending_rollbacks_;
+
+  // Per-txn state: flat indices into a recycled pool (attempts) and flat
+  // value storage (fragments). pending_rollbacks_ is a plain vector — it
+  // holds the rare rollback-before-exec races and stays tiny.
+  FlatMap<TxnId, uint32_t> attempts_;
+  std::vector<AttemptState> attempt_pool_;
+  std::vector<uint32_t> free_attempt_slots_;
+  FlatMap<TxnId, FragmentState> fragments_;
+  std::vector<TxnId> pending_rollbacks_;
   TxnIdAllocator txn_ids_;
   uint64_t next_priority_ts_ = 1;
 
-  // Timer wheel, owned by the node thread.
-  std::multimap<Micros, Timer> timers_;
-  std::unordered_map<TxnId, std::multimap<Micros, Timer>::iterator>
-      protocol_timers_;
+  // Timer queue, owned by the node thread.
+  TimerHeap timers_;
+  FlatMap<TxnId, TimerHeap::Id> protocol_timers_;
 
   std::thread thread_;
   std::atomic<bool> running_{false};

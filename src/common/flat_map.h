@@ -1,0 +1,230 @@
+#ifndef ECDB_COMMON_FLAT_MAP_H_
+#define ECDB_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ecdb {
+
+/// Default hasher for FlatMap: a full-avalanche mix (splitmix64 finalizer)
+/// so power-of-two masking can use the low bits even for sequential keys
+/// (row ids, transaction ids). Specialize or pass a custom hasher for
+/// composite keys.
+template <typename K>
+struct FlatHash {
+  size_t operator()(const K& key) const {
+    uint64_t h = static_cast<uint64_t>(key);
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Open-addressing hash map with linear probing over a power-of-two slot
+/// array, built for the hot paths of both runtimes (storage rows, lock
+/// entries, per-transaction bookkeeping). Compared with std::unordered_map:
+///
+///  * one flat allocation, no per-node allocation, no bucket pointer chase
+///    — a lookup is a mix, a mask, and a short linear scan;
+///  * erase uses backward-shift deletion, so there are no tombstones and
+///    probe chains never grow stale;
+///  * Clear() keeps the slot array, so a recycled map re-fills without
+///    reallocating.
+///
+/// Contracts (pinned by tests/flat_map_test.cc):
+///  * K and V must be default-constructible and movable; keys must be
+///    equality-comparable.
+///  * Pointers/references/iterators are invalidated by ANY mutation:
+///    insertion may rehash, and Erase backward-shifts later elements of
+///    the probe chain into the hole. Never hold one across a mutation.
+///  * Iteration order is unspecified but deterministic: it depends only on
+///    the sequence of operations, never on addresses or randomness (the
+///    simulator's golden-trace determinism relies on this).
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatMap {
+ public:
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+  template <bool kConst>
+  class Iter {
+   public:
+    using MapT = std::conditional_t<kConst, const FlatMap, FlatMap>;
+    using SlotT = std::conditional_t<kConst, const Slot, Slot>;
+
+    Iter(MapT* map, size_t idx) : map_(map), idx_(idx) { SkipEmpty(); }
+
+    SlotT& operator*() const { return map_->slots_[idx_]; }
+    SlotT* operator->() const { return &map_->slots_[idx_]; }
+    Iter& operator++() {
+      ++idx_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const Iter& other) const { return idx_ == other.idx_; }
+    bool operator!=(const Iter& other) const { return idx_ != other.idx_; }
+
+   private:
+    void SkipEmpty() {
+      while (idx_ < map_->slots_.size() && !map_->used_[idx_]) ++idx_;
+    }
+    MapT* map_;
+    size_t idx_;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of slots currently allocated (power of two, or 0).
+  size_t capacity() const { return slots_.size(); }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  /// Returns the value for `key` or nullptr. Valid until the next mutation.
+  V* Find(const K& key) {
+    const size_t idx = IndexOf(key);
+    return idx == kNpos ? nullptr : &slots_[idx].value;
+  }
+  const V* Find(const K& key) const {
+    const size_t idx = IndexOf(key);
+    return idx == kNpos ? nullptr : &slots_[idx].value;
+  }
+
+  bool Contains(const K& key) const { return IndexOf(key) != kNpos; }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& operator[](const K& key) {
+    ReserveForInsert();
+    size_t i = Hash{}(key)&mask_;
+    while (used_[i]) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i].key = key;
+    ++size_;
+    return slots_[i].value;
+  }
+
+  /// Inserts (key, value) if absent. Returns {slot value, inserted}; an
+  /// existing mapping is left untouched (mirrors try_emplace).
+  std::pair<V*, bool> Emplace(const K& key, V&& value) {
+    ReserveForInsert();
+    size_t i = Hash{}(key)&mask_;
+    while (used_[i]) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  /// Removes `key`. Backward-shift deletion: later members of the probe
+  /// chain slide into the hole, so all positions stay reachable without
+  /// tombstones. Returns false when absent.
+  bool Erase(const K& key) {
+    size_t hole = IndexOf(key);
+    if (hole == kNpos) return false;
+    size_t j = hole;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!used_[j]) break;
+      // Slot j may move into the hole only if the hole still lies on j's
+      // probe path, i.e. the hole is no earlier (cyclically from j's ideal
+      // position) than j itself.
+      const size_t ideal = Hash{}(slots_[j].key) & mask_;
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};  // release the vacated slot's resources
+    used_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  /// Empties the map but keeps the slot array for refilling.
+  void Clear() {
+    if (size_ != 0) {
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (used_[i]) {
+          slots_[i] = Slot{};
+          used_[i] = 0;
+        }
+      }
+      size_ = 0;
+    }
+  }
+
+  /// Pre-sizes the table for `n` mappings so inserting up to n entries
+  /// performs no rehash (bulk loaders call this before filling).
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;  // keep load factor under 3/4
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+ private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+
+  size_t IndexOf(const K& key) const {
+    if (size_ == 0) return kNpos;
+    size_t i = Hash{}(key)&mask_;
+    while (used_[i]) {
+      if (slots_[i].key == key) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNpos;
+  }
+
+  void ReserveForInsert() {
+    if (slots_.empty()) {
+      Rehash(kMinCapacity);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<Slot> old_slots(new_cap);
+    std::vector<uint8_t> old_used(new_cap, 0);
+    old_slots.swap(slots_);
+    old_used.swap(used_);
+    mask_ = new_cap - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      size_t j = Hash{}(old_slots[i].key) & mask_;
+      while (used_[j]) j = (j + 1) & mask_;
+      slots_[j] = std::move(old_slots[i]);
+      used_[j] = 1;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace ecdb
+
+#endif  // ECDB_COMMON_FLAT_MAP_H_

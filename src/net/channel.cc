@@ -5,12 +5,32 @@
 namespace ecdb {
 
 void MessageChannel::Push(Message msg) {
+  bool was_empty;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;
+    was_empty = queue_.empty();
     queue_.push_back(std::move(msg));
   }
-  cv_.notify_one();
+  // Only the empty -> non-empty transition can have a sleeping consumer:
+  // PopAll drains the whole queue under the lock, so while messages remain
+  // the consumer is awake and will swap them out without waiting.
+  if (was_empty) cv_.notify_one();
+}
+
+bool MessageChannel::PopAll(std::vector<Message>* out,
+                            std::chrono::microseconds timeout) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty() && !closed_) {
+    cv_.wait_for(lock, timeout, [this] { return !queue_.empty() || closed_; });
+  }
+  if (queue_.empty()) return false;  // timed out, or closed and drained
+  // Swap rather than move: the consumer's drained buffer becomes the next
+  // produce buffer, so steady state runs allocation-free in both
+  // directions.
+  queue_.swap(*out);
+  return true;
 }
 
 bool MessageChannel::Pop(Message* out, std::chrono::milliseconds timeout) {
@@ -21,7 +41,7 @@ bool MessageChannel::Pop(Message* out, std::chrono::milliseconds timeout) {
   }
   if (queue_.empty()) return false;  // closed and drained
   *out = std::move(queue_.front());
-  queue_.pop_front();
+  queue_.erase(queue_.begin());
   return true;
 }
 
@@ -29,7 +49,7 @@ bool MessageChannel::TryPop(Message* out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
-  queue_.pop_front();
+  queue_.erase(queue_.begin());
   return true;
 }
 
@@ -54,8 +74,14 @@ ThreadNetwork::ThreadNetwork(size_t num_nodes)
 
 void ThreadNetwork::Send(Message msg) {
   if (msg.dst >= channels_.size()) return;
-  if (crashed_[msg.src].load(std::memory_order_relaxed)) return;
-  if (crashed_[msg.dst].load(std::memory_order_relaxed)) return;
+  if (crashed_[msg.src].load(std::memory_order_relaxed)) {
+    from_crashed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (crashed_[msg.dst].load(std::memory_order_relaxed)) {
+    to_crashed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   channels_[msg.dst]->Push(std::move(msg));
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -16,17 +15,33 @@ namespace ecdb {
 
 /// Thread-safe blocking message queue: the mailbox of one node in the
 /// threaded runtime. Multiple producers, single consumer.
+///
+/// Built as a two-queue swap mailbox: producers append to a flat vector
+/// under a short critical section; the consumer swaps the whole vector out
+/// with `PopAll` and drains it lock-free. A producer signals the condition
+/// variable only on the empty -> non-empty transition, so a burst of n
+/// messages costs n short lock holds but at most one wake — under load the
+/// consumer is already draining and producers never touch the futex.
 class MessageChannel {
  public:
   MessageChannel() = default;
   MessageChannel(const MessageChannel&) = delete;
   MessageChannel& operator=(const MessageChannel&) = delete;
 
-  /// Enqueues a message; wakes a blocked consumer. No-op after Close().
+  /// Enqueues a message; wakes a blocked consumer if the mailbox was empty.
+  /// No-op after Close().
   void Push(Message msg);
 
+  /// Swaps the entire mailbox contents into `*out` (cleared first; its
+  /// capacity is recycled as the next produce buffer), blocking up to
+  /// `timeout` for the first message. Returns false on timeout or when the
+  /// channel is closed and drained. This is the consumer hot path: one
+  /// lock + one swap per burst, regardless of burst size.
+  bool PopAll(std::vector<Message>* out, std::chrono::microseconds timeout);
+
   /// Dequeues the next message, blocking up to `timeout`. Returns false on
-  /// timeout or when the channel is closed and drained.
+  /// timeout or when the channel is closed and drained. One-at-a-time
+  /// compatibility path (tests, simple consumers); the runtime uses PopAll.
   bool Pop(Message* out, std::chrono::milliseconds timeout);
 
   /// Non-blocking dequeue. Returns false when empty.
@@ -40,7 +55,7 @@ class MessageChannel {
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::vector<Message> queue_;
   bool closed_ = false;
 };
 
@@ -52,7 +67,8 @@ class ThreadNetwork {
   explicit ThreadNetwork(size_t num_nodes);
 
   /// Routes `msg` to the mailbox of `msg.dst`. Messages involving crashed
-  /// nodes are silently dropped (fail-stop).
+  /// nodes are dropped (fail-stop) and counted in `messages_from_crashed`
+  /// / `messages_to_crashed`, mirroring the simulator's NetworkStats.
   void Send(Message msg);
 
   /// The receiving mailbox of `node`.
@@ -62,6 +78,15 @@ class ThreadNetwork {
   void RecoverNode(NodeId node);
   bool IsCrashed(NodeId node) const;
 
+  /// Messages dropped because the source was crashed at send time.
+  uint64_t messages_from_crashed() const {
+    return from_crashed_.load(std::memory_order_relaxed);
+  }
+  /// Messages dropped because the destination was crashed at send time.
+  uint64_t messages_to_crashed() const {
+    return to_crashed_.load(std::memory_order_relaxed);
+  }
+
   /// Closes every mailbox; node threads drain and exit.
   void Shutdown();
 
@@ -70,6 +95,8 @@ class ThreadNetwork {
  private:
   std::vector<std::unique_ptr<MessageChannel>> channels_;
   std::vector<std::atomic<bool>> crashed_;
+  std::atomic<uint64_t> from_crashed_{0};
+  std::atomic<uint64_t> to_crashed_{0};
 };
 
 }  // namespace ecdb

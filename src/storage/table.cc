@@ -16,8 +16,8 @@ Status Table::InsertWith(Key key, std::vector<uint64_t> columns) {
   Row row;
   row.key = key;
   row.columns = std::move(columns);
-  auto [it, inserted] = rows_.emplace(key, std::move(row));
-  (void)it;
+  auto [slot, inserted] = rows_.Emplace(key, std::move(row));
+  (void)slot;
   if (!inserted) {
     return Status::AlreadyExists("key already in table " + name_);
   }
@@ -25,38 +25,34 @@ Status Table::InsertWith(Key key, std::vector<uint64_t> columns) {
 }
 
 Result<const Row*> Table::Get(Key key) const {
-  auto it = rows_.find(key);
-  if (it == rows_.end()) return Status::NotFound();
-  return &it->second;
+  const Row* row = rows_.Find(key);
+  if (row == nullptr) return Status::NotFound();
+  return row;
 }
 
 Result<Row*> Table::GetMutable(Key key) {
-  auto it = rows_.find(key);
-  if (it == rows_.end()) return Status::NotFound();
-  return &it->second;
+  Row* row = rows_.Find(key);
+  if (row == nullptr) return Status::NotFound();
+  return row;
 }
 
 Status Table::Erase(Key key) {
-  if (rows_.erase(key) == 0) return Status::NotFound();
+  if (!rows_.Erase(key)) return Status::NotFound();
   return Status::OK();
 }
 
 Status PartitionStore::CreateTable(TableId id, const std::string& name,
                                    uint32_t num_columns) {
-  auto [it, inserted] = tables_.emplace(id, Table(id, name, num_columns));
-  (void)it;
+  auto [slot, inserted] = tables_.Emplace(id, Table(id, name, num_columns));
+  (void)slot;
   if (!inserted) return Status::AlreadyExists("table id in use");
   return Status::OK();
 }
 
-Table* PartitionStore::GetTable(TableId id) {
-  auto it = tables_.find(id);
-  return it == tables_.end() ? nullptr : &it->second;
-}
+Table* PartitionStore::GetTable(TableId id) { return tables_.Find(id); }
 
 const Table* PartitionStore::GetTable(TableId id) const {
-  auto it = tables_.find(id);
-  return it == tables_.end() ? nullptr : &it->second;
+  return tables_.Find(id);
 }
 
 }  // namespace ecdb

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/operation.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -27,8 +27,15 @@ struct Row {
 /// Hash-indexed in-memory table, single-partition. Not thread-safe: in both
 /// runtimes a partition is touched only by its owning node (shared-nothing),
 /// and the threaded runtime serializes access through the node's event loop.
+/// Rows live in an open-addressing FlatMap, so the per-operation row lookup
+/// (the innermost step of every transaction) is a mix + mask + short probe
+/// with no bucket chain to chase.
 class Table {
  public:
+  /// Empty placeholder table (needed by FlatMap slot storage); only tables
+  /// made through the value constructor are ever reachable via GetTable.
+  Table() = default;
+
   /// Creates a table whose rows have `num_columns` columns.
   Table(TableId id, std::string name, uint32_t num_columns);
 
@@ -37,6 +44,10 @@ class Table {
   uint32_t num_columns() const { return num_columns_; }
   size_t size() const { return rows_.size(); }
 
+  /// Pre-sizes the row index for `n` rows so a bulk load performs no
+  /// rehash mid-fill (the workload loaders call this before inserting).
+  void Reserve(size_t n) { rows_.Reserve(n); }
+
   /// Inserts a row with all columns zero. Fails with AlreadyExists.
   Status Insert(Key key);
 
@@ -44,20 +55,24 @@ class Table {
   /// schema width). Fails with AlreadyExists.
   Status InsertWith(Key key, std::vector<uint64_t> columns);
 
-  /// Returns the row or NotFound. Pointer valid until the next Insert.
+  /// Returns the row or NotFound. The pointer is valid only until the next
+  /// mutation of the table: Insert can rehash the row index and Erase
+  /// backward-shifts rows into the vacated slot, either of which moves rows
+  /// in memory. Do not hold it across Insert/InsertWith/Erase/Reserve.
   Result<const Row*> Get(Key key) const;
 
   /// Mutable access for the execution engine. Returns NotFound if absent.
+  /// Same validity contract as Get.
   Result<Row*> GetMutable(Key key);
 
   /// Removes a row; NotFound if absent.
   Status Erase(Key key);
 
  private:
-  TableId id_;
+  TableId id_ = 0;
   std::string name_;
-  uint32_t num_columns_;
-  std::unordered_map<Key, Row> rows_;
+  uint32_t num_columns_ = 0;
+  FlatMap<Key, Row> rows_;
 };
 
 /// All tables owned by one partition. A node hosts exactly one partition in
@@ -73,7 +88,8 @@ class PartitionStore {
   Status CreateTable(TableId id, const std::string& name,
                      uint32_t num_columns);
 
-  /// Returns the table or nullptr.
+  /// Returns the table or nullptr. The pointer is valid until the next
+  /// CreateTable (which may rehash the table index).
   Table* GetTable(TableId id);
   const Table* GetTable(TableId id) const;
 
@@ -81,7 +97,7 @@ class PartitionStore {
 
  private:
   PartitionId id_;
-  std::unordered_map<TableId, Table> tables_;
+  FlatMap<TableId, Table> tables_;
 };
 
 /// Maps a key to the partition that owns it. The paper's ExpoDB hashes keys

@@ -69,6 +69,16 @@ void TpccWorkload::LoadPartition(PartitionStore* store,
   ECDB_CHECK(store->CreateTable(kStock, "stock", kStockCols).ok());
   ECDB_CHECK(store->CreateTable(kItem, "item", kItemCols).ok());
 
+  // Pre-size the row indices so the bulk load below never rehashes.
+  const uint64_t local_warehouses = config_.warehouses_per_partition;
+  const uint64_t districts = local_warehouses * config_.districts_per_warehouse;
+  store->GetTable(kWarehouse)->Reserve(local_warehouses);
+  store->GetTable(kDistrict)->Reserve(districts);
+  store->GetTable(kCustomer)->Reserve(districts *
+                                      config_.customers_per_district);
+  store->GetTable(kStock)->Reserve(local_warehouses * config_.items);
+  store->GetTable(kItem)->Reserve(config_.items);
+
   const PartitionId part = store->id();
   for (uint32_t w = 0; w < total_warehouses(); ++w) {
     if (PartitionOfWarehouse(w) != part) continue;

@@ -20,6 +20,7 @@ void YcsbWorkload::LoadPartition(PartitionStore* store,
   ECDB_CHECK(partitioner.num_partitions() == config_.num_partitions);
   ECDB_CHECK(store->CreateTable(kTableId, "usertable", config_.columns).ok());
   Table* table = store->GetTable(kTableId);
+  table->Reserve(config_.rows_per_partition);  // no rehash mid-load
   for (uint64_t row = 0; row < config_.rows_per_partition; ++row) {
     ECDB_CHECK(table->Insert(EncodeKey(store->id(), row)).ok());
   }
