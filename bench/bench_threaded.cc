@@ -103,6 +103,8 @@ void ThreadedYcsb(benchmark::State& state, CommitProtocol protocol) {
   ycsb.theta = 0.6;
 
   uint64_t committed = 0;
+  uint64_t termination_rounds = 0;
+  uint64_t dropped_at_crashed = 0;
   for (auto _ : state) {
     ThreadCluster cluster(cfg, std::make_unique<YcsbWorkload>(ycsb));
     cluster.Start();
@@ -114,10 +116,19 @@ void ThreadedYcsb(benchmark::State& state, CommitProtocol protocol) {
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - t0).count();
     cluster.Stop();
+    const ClusterStats stats = cluster.CollectStats(elapsed);
+    termination_rounds += stats.total.termination_rounds;
+    dropped_at_crashed += stats.net_messages_to_crashed;
     committed += after - before;
     state.SetIterationTime(elapsed);
   }
   state.SetItemsProcessed(static_cast<int64_t>(committed));
+  // Failure-free runs should keep both pinned at zero; nonzero values
+  // mean the measurement window caught the termination path.
+  state.counters["termination_rounds"] =
+      static_cast<double>(termination_rounds);
+  state.counters["dropped_at_crashed"] =
+      static_cast<double>(dropped_at_crashed);
 }
 
 void BM_ThreadedYcsb2PC(benchmark::State& state) {

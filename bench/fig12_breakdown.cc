@@ -26,7 +26,9 @@ int main() {
     for (size_t c = 0; c < kNumTimeCategories; ++c) {
       std::printf("%13s", ToString(static_cast<TimeCategory>(c)).c_str());
     }
-    std::printf("\n");
+    // Commit-phase latency means (us) from the tracing/metrics layer:
+    // vote collection, decision transmit, decision apply.
+    std::printf("%10s%10s%10s\n", "vote_us", "xmit_us", "apply_us");
     for (double theta : thetas) {
       ClusterConfig cluster = DefaultCluster(16, protocol);
       YcsbConfig ycsb = DefaultYcsb(16);
@@ -38,7 +40,9 @@ int main() {
         std::printf("%12.1f%%",
                     100.0 * r.stats.TimeFraction(static_cast<TimeCategory>(c)));
       }
-      std::printf("\n");
+      std::printf("%10.1f%10.1f%10.1f\n", r.stats.total.phase_vote.Mean(),
+                  r.stats.total.phase_transmit.Mean(),
+                  r.stats.total.phase_apply.Mean());
       std::fflush(stdout);
     }
   }

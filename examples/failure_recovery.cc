@@ -4,11 +4,19 @@
 // demonstrates WAL-driven independent recovery (Section 4.2).
 //
 // Run: ./build/examples/failure_recovery
+//
+// With `--trace-dir DIR`, the EasyCommit multi-failure run is re-executed
+// with protocol tracing enabled and exported to DIR as
+// failure_recovery_ec.jsonl (offline checker / grep) and
+// failure_recovery_ec.chrome.json (load in Perfetto or chrome://tracing).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "commit/recovery.h"
 #include "commit/testbed.h"
+#include "trace/trace_export.h"
 
 using namespace ecdb;
 using ecdb::testbed::ProtocolTestbed;
@@ -17,7 +25,8 @@ namespace {
 
 // The scenario: coordinator C(0) and cohorts X(1), Y(2), Z(3). C decides
 // commit, fails mid-broadcast so only X is addressed, and X fails too.
-void RunMotivatingExample(CommitProtocol protocol, bool x_receives) {
+void RunMotivatingExample(CommitProtocol protocol, bool x_receives,
+                          const std::string& trace_dir = "") {
   std::printf("\n--- %s, X %s the decision before failing ---\n",
               ToString(protocol).c_str(),
               x_receives ? "receives (and under EC forwards)" : "never sees");
@@ -26,6 +35,7 @@ void RunMotivatingExample(CommitProtocol protocol, bool x_receives) {
   net.base_latency_us = 100;
   net.jitter_us = 0;
   ProtocolTestbed bed(protocol, 4, net);
+  if (!trace_dir.empty()) bed.EnableTracing();
 
   bed.network().SetSendFilter([&bed](const Message& msg) {
     const bool decision = msg.type == MsgType::kGlobalCommit ||
@@ -75,6 +85,24 @@ void RunMotivatingExample(CommitProtocol protocol, bool x_receives) {
                   bed.host(2).engine().termination_rounds() +
                   bed.host(3).engine().termination_rounds()),
               bed.monitor().Violations().size());
+
+  if (!trace_dir.empty()) {
+    TraceMeta meta;
+    meta.runtime = "testbed";
+    meta.protocol = ToString(protocol);
+    meta.num_nodes = 4;
+    const std::vector<TraceEvent> events = CollectEvents(bed.recorders());
+    const std::string jsonl = trace_dir + "/failure_recovery_ec.jsonl";
+    const std::string chrome = trace_dir + "/failure_recovery_ec.chrome.json";
+    if (!WriteJsonlFile(meta, events, jsonl) ||
+        !WriteChromeTraceFile(meta, events, chrome)) {
+      std::fprintf(stderr, "failed to write traces under %s\n",
+                   trace_dir.c_str());
+      std::exit(1);
+    }
+    std::printf("  traced %zu events -> %s (+ .chrome.json)\n",
+                events.size(), jsonl.c_str());
+  }
 }
 
 // Independent recovery (Section 4.2): what a node decides from its own WAL
@@ -109,13 +137,24 @@ void ShowIndependentRecovery() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: failure_recovery [--trace-dir DIR]\n");
+      return 2;
+    }
+  }
+
   std::printf("Failure handling: the paper's motivating example\n");
   std::printf("(coordinator C + cohorts X, Y, Z; C and X fail)\n");
 
   RunMotivatingExample(CommitProtocol::kTwoPhase, /*x_receives=*/false);
   RunMotivatingExample(CommitProtocol::kEasyCommit, /*x_receives=*/false);
-  RunMotivatingExample(CommitProtocol::kEasyCommit, /*x_receives=*/true);
+  RunMotivatingExample(CommitProtocol::kEasyCommit, /*x_receives=*/true,
+                       trace_dir);
   RunMotivatingExample(CommitProtocol::kThreePhase, /*x_receives=*/false);
 
   ShowIndependentRecovery();

@@ -78,6 +78,30 @@ int main(int argc, char** argv) {
   std::printf("  blocked txns      %10llu\n",
               static_cast<unsigned long long>(stats.total.txns_blocked));
 
+  std::printf("\n  commit phase latency (committed txns, us):\n");
+  struct PhaseRow {
+    const char* name;
+    const Histogram* h;
+  };
+  const PhaseRow phases[] = {
+      {"vote collection", &stats.total.phase_vote},
+      {"decision transmit", &stats.total.phase_transmit},
+      {"decision apply", &stats.total.phase_apply},
+  };
+  for (const PhaseRow& p : phases) {
+    std::printf("    %-18s mean %8.1f  p99 %8llu  (n=%llu)\n", p.name,
+                p.h->Mean(),
+                static_cast<unsigned long long>(p.h->Percentile(0.99)),
+                static_cast<unsigned long long>(p.h->count()));
+  }
+  std::printf("  termination rounds %9llu, messages at crashed nodes: "
+              "from %llu / to %llu\n",
+              static_cast<unsigned long long>(
+                  stats.total.termination_rounds),
+              static_cast<unsigned long long>(
+                  stats.net_messages_from_crashed),
+              static_cast<unsigned long long>(stats.net_messages_to_crashed));
+
   std::printf("\n  time breakdown (Figure 12 categories):\n");
   for (size_t c = 0; c < kNumTimeCategories; ++c) {
     std::printf("    %-12s %6.1f%%\n",

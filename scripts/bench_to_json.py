@@ -57,6 +57,11 @@ def run_one_binary(binary, repetitions):
             "cpu_time_ns": bench["cpu_time"],
             "items_per_second": bench.get("items_per_second"),
         }
+        # Custom counters (e.g. termination_rounds / dropped_at_crashed on
+        # the threaded cluster runs) ride along when the binary reports them.
+        for counter in ("termination_rounds", "dropped_at_crashed"):
+            if counter in bench:
+                results[name][counter] = bench[counter]
     return {"context": raw.get("context", {}), "results": results}
 
 

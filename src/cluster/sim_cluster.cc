@@ -47,7 +47,11 @@ ClusterStats SimCluster::CollectStats(double duration_seconds) const {
   out.num_nodes = config_.num_nodes;
   const uint64_t window_us = static_cast<uint64_t>(duration_seconds * 1e6);
   for (const auto& node : nodes_) {
-    out.total.Merge(node->stats());
+    // The engine tracks termination rounds itself; fold the window's delta
+    // into the per-node stats before merging.
+    NodeStats ns = node->stats();
+    ns.termination_rounds = node->TerminationRoundsThisWindow();
+    out.total.Merge(ns);
     // Idle = worker capacity not attributed to any category this window.
     const uint64_t busy =
         node->total_busy_us() - node->busy_us_at_window_start();
@@ -56,11 +60,24 @@ ClusterStats SimCluster::CollectStats(double duration_seconds) const {
     out.total.AddTime(TimeCategory::kIdle,
                       capacity > busy ? capacity - busy : 0);
   }
+  out.net_messages_from_crashed = network_->stats().messages_from_crashed;
+  out.net_messages_to_crashed = network_->stats().messages_to_crashed;
   return out;
 }
 
 void SimCluster::CrashNode(NodeId id) { nodes_[id]->Crash(); }
 
 void SimCluster::RecoverNode(NodeId id) { nodes_[id]->Recover(); }
+
+void SimCluster::EnableTracing(size_t capacity) {
+  for (auto& node : nodes_) node->EnableTracing(capacity);
+}
+
+std::vector<const TraceRecorder*> SimCluster::recorders() const {
+  std::vector<const TraceRecorder*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(&node->trace());
+  return out;
+}
 
 }  // namespace ecdb

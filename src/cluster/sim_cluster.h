@@ -61,6 +61,12 @@ class SimCluster {
   void CrashNode(NodeId id);
   void RecoverNode(NodeId id);
 
+  /// Turns on protocol tracing on every node (inert under ECDB_TRACE=OFF).
+  void EnableTracing(size_t capacity = TraceRecorder::kDefaultCapacity);
+
+  /// Per-node recorders, for CollectEvents + the exporters.
+  std::vector<const TraceRecorder*> recorders() const;
+
  private:
   ClusterConfig config_;
   Scheduler scheduler_;

@@ -22,8 +22,10 @@ SimNode::SimNode(NodeId id, const ClusterConfig& config, Scheduler* scheduler,
       partitioner_(config.num_nodes),
       locks_(config.cc_policy),
       txn_ids_(id) {
+  trace_.set_node(id_);
   engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                            config_.commit);
+  engine_->set_trace(&trace_);
   clients_.resize(config_.clients_per_node);
 }
 
@@ -114,10 +116,19 @@ SimNode::CostVector SimNode::ExecCost(size_t num_ops) const {
 
 void SimNode::Send(Message msg) {
   msg.src = id_;
+  if (trace_.enabled()) {
+    msg.trace_seq = trace_.NextSeq();
+    trace_.Record(TraceEventType::kMsgSend, scheduler_->Now(), msg.txn,
+                  msg.trace_seq, msg.dst, static_cast<uint8_t>(msg.type));
+  }
   network_->Send(std::move(msg));
 }
 
 void SimNode::Log(TxnId txn, LogRecordType type) {
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kWalWrite, scheduler_->Now(), txn, 0,
+                  kInvalidNode, static_cast<uint8_t>(type));
+  }
   LogRecord record;
   record.txn = txn;
   record.type = type;
@@ -133,10 +144,17 @@ void SimNode::Log(TxnId txn, LogRecordType type) {
 
 void SimNode::ArmTimer(TxnId txn, Micros delay_us) {
   CancelTimer(txn);
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kTimerArm, scheduler_->Now(), txn,
+                  delay_us);
+  }
   const uint64_t epoch = epoch_;
   timers_[txn] = scheduler_->ScheduleAfter(delay_us, [this, txn, epoch]() {
     if (crashed_ || epoch != epoch_) return;
     timers_.erase(txn);
+    if (trace_.enabled()) {
+      trace_.Record(TraceEventType::kTimerFire, scheduler_->Now(), txn);
+    }
     engine_->OnTimeout(txn);
   });
 }
@@ -144,6 +162,9 @@ void SimNode::ArmTimer(TxnId txn, Micros delay_us) {
 void SimNode::CancelTimer(TxnId txn) {
   auto it = timers_.find(txn);
   if (it == timers_.end()) return;
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kTimerCancel, scheduler_->Now(), txn);
+  }
   scheduler_->Cancel(it->second);
   timers_.erase(it);
 }
@@ -189,6 +210,21 @@ void SimNode::OnBlocked(TxnId txn) {
   if (monitor_ != nullptr) monitor_->RecordBlocked(txn, id_);
 }
 
+void SimNode::OnPhaseSample(TxnId txn, CommitPhase phase, Micros elapsed_us) {
+  (void)txn;
+  switch (phase) {
+    case CommitPhase::kVoteCollection:
+      stats_.phase_vote.Record(elapsed_us);
+      break;
+    case CommitPhase::kDecisionTransmit:
+      stats_.phase_transmit.Record(elapsed_us);
+      break;
+    case CommitPhase::kDecisionApply:
+      stats_.phase_apply.Record(elapsed_us);
+      break;
+  }
+}
+
 void SimNode::OnCleanup(TxnId txn) {
   EnqueueJob(Cost(TimeCategory::kOverhead, config_.costs.overhead_us),
              [this, txn]() {
@@ -203,6 +239,10 @@ void SimNode::OnCleanup(TxnId txn) {
 // --------------------------------------------------------------------------
 
 void SimNode::OnNetMessage(const Message& msg) {
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kMsgRecv, scheduler_->Now(), msg.txn,
+                  msg.trace_seq, msg.src, static_cast<uint8_t>(msg.type));
+  }
   switch (msg.type) {
     case MsgType::kRemoteExec: {
       CostVector cost = ExecCost(msg.ops.size());
@@ -609,6 +649,7 @@ void SimNode::Crash() {
   busy_workers_ = 0;
   engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                            config_.commit);
+  engine_->set_trace(&trace_);
   for (ClientSlot& client : clients_) client.in_flight = false;
 }
 
@@ -660,6 +701,7 @@ void SimNode::Recover() {
 void SimNode::BeginMeasurement() {
   stats_.Clear();
   busy_at_window_start_ = total_busy_us_;
+  term_rounds_at_window_start_ = engine_->termination_rounds();
 }
 
 size_t SimNode::IdleClientCount() const {

@@ -19,6 +19,7 @@
 #include "sim/scheduler.h"
 #include "stats/metrics.h"
 #include "storage/table.h"
+#include "trace/trace_recorder.h"
 #include "txn/transaction.h"
 #include "wal/wal.h"
 #include "workload/workload.h"
@@ -61,6 +62,9 @@ class SimNode : public CommitEnv {
   void ApplyDecision(TxnId txn, Decision decision) override;
   void OnBlocked(TxnId txn) override;
   void OnCleanup(TxnId txn) override;
+  Micros NowUs() const override { return scheduler_->Now(); }
+  void OnPhaseSample(TxnId txn, CommitPhase phase,
+                     Micros elapsed_us) override;
 
   // --- Fault injection ---
 
@@ -90,6 +94,23 @@ class SimNode : public CommitEnv {
   /// Worker-busy microseconds accumulated since construction.
   uint64_t total_busy_us() const { return total_busy_us_; }
   uint64_t busy_us_at_window_start() const { return busy_at_window_start_; }
+
+  /// Turns on protocol tracing for this node (inert under ECDB_TRACE=OFF).
+  void EnableTracing(size_t capacity = TraceRecorder::kDefaultCapacity) {
+    trace_.Enable(capacity);
+  }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  /// Termination-protocol rounds initiated since BeginMeasurement(). The
+  /// engine's counter resets when a crash recreates the engine, so the
+  /// difference is clamped at zero.
+  uint64_t TerminationRoundsThisWindow() const {
+    const uint64_t now = engine_->termination_rounds();
+    return now > term_rounds_at_window_start_
+               ? now - term_rounds_at_window_start_
+               : 0;
+  }
 
   CommitEngine& engine() { return *engine_; }
   PartitionStore& store() { return store_; }
@@ -229,6 +250,8 @@ class SimNode : public CommitEnv {
   NodeStats stats_;
   uint64_t total_busy_us_ = 0;
   uint64_t busy_at_window_start_ = 0;
+  uint64_t term_rounds_at_window_start_ = 0;
+  TraceRecorder trace_;
 
   VoteOverride vote_override_;
 };

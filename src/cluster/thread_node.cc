@@ -32,8 +32,10 @@ ThreadNode::ThreadNode(NodeId id, const ThreadClusterConfig& config,
     ECDB_CHECK(wal.ok());
     wal_ = std::move(wal).value();
   }
+  trace_.set_node(id_);
   engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                            config_.commit);
+  engine_->set_trace(&trace_);
   clients_.resize(config_.clients_per_node);
 }
 
@@ -79,6 +81,7 @@ void ThreadNode::Loop() {
       locks_ = LockTable(config_.cc_policy);
       engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                                config_.commit);
+      engine_->set_trace(&trace_);
       for (ClientSlot& client : clients_) client.idle = true;
     }
     if (recover_requested_.exchange(false)) {
@@ -144,6 +147,10 @@ void ThreadNode::Loop() {
 }
 
 void ThreadNode::HandleMessage(const Message& msg) {
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kMsgRecv, NowUs(), msg.txn, msg.trace_seq,
+                  msg.src, static_cast<uint8_t>(msg.type));
+  }
   switch (msg.type) {
     case MsgType::kRemoteExec:
       HandleRemoteExec(msg);
@@ -179,6 +186,9 @@ void ThreadNode::FireDueTimers() {
     switch (timer.kind) {
       case TimerKind::kProtocol:
         protocol_timers_.Erase(timer.txn);
+        if (trace_.enabled()) {
+          trace_.Record(TraceEventType::kTimerFire, NowUs(), timer.txn);
+        }
         engine_->OnTimeout(timer.txn);
         break;
       case TimerKind::kExec: {
@@ -257,10 +267,19 @@ void ThreadNode::EraseAttempt(TxnId txn) {
 
 void ThreadNode::Send(Message msg) {
   msg.src = id_;
+  if (trace_.enabled()) {
+    msg.trace_seq = trace_.NextSeq();
+    trace_.Record(TraceEventType::kMsgSend, NowUs(), msg.txn, msg.trace_seq,
+                  msg.dst, static_cast<uint8_t>(msg.type));
+  }
   network_->Send(std::move(msg));
 }
 
 void ThreadNode::Log(TxnId txn, LogRecordType type) {
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kWalWrite, NowUs(), txn, 0, kInvalidNode,
+                  static_cast<uint8_t>(type));
+  }
   LogRecord record;
   record.txn = txn;
   record.type = type;
@@ -276,13 +295,19 @@ void ThreadNode::Log(TxnId txn, LogRecordType type) {
 
 void ThreadNode::ArmTimer(TxnId txn, Micros delay_us) {
   CancelTimer(txn);
-  ScheduleTimer(NowUs() + delay_us,
-                Timer{TimerKind::kProtocol, txn, /*slot=*/0});
+  const Micros now = NowUs();
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kTimerArm, now, txn, delay_us);
+  }
+  ScheduleTimer(now + delay_us, Timer{TimerKind::kProtocol, txn, /*slot=*/0});
 }
 
 void ThreadNode::CancelTimer(TxnId txn) {
   TimerHeap::Id* id = protocol_timers_.Find(txn);
   if (id == nullptr) return;
+  if (trace_.enabled()) {
+    trace_.Record(TraceEventType::kTimerCancel, NowUs(), txn);
+  }
   timers_.Cancel(*id);
   protocol_timers_.Erase(txn);
 }
@@ -336,6 +361,22 @@ void ThreadNode::OnCleanup(TxnId txn) {
   locks_.ReleaseAll(txn);
   EraseAttempt(txn);
   fragments_.Erase(txn);
+}
+
+void ThreadNode::OnPhaseSample(TxnId txn, CommitPhase phase,
+                               Micros elapsed_us) {
+  (void)txn;
+  switch (phase) {
+    case CommitPhase::kVoteCollection:
+      stats_.phase_vote.Record(elapsed_us);
+      break;
+    case CommitPhase::kDecisionTransmit:
+      stats_.phase_transmit.Record(elapsed_us);
+      break;
+    case CommitPhase::kDecisionApply:
+      stats_.phase_apply.Record(elapsed_us);
+      break;
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -680,6 +721,35 @@ uint64_t ThreadCluster::TotalCommitted() const {
   uint64_t total = 0;
   for (const auto& node : nodes_) total += node->committed();
   return total;
+}
+
+ClusterStats ThreadCluster::CollectStats(double duration_seconds) const {
+  ClusterStats out;
+  out.duration_seconds = duration_seconds;
+  out.num_nodes = config_.num_nodes;
+  for (const auto& node : nodes_) {
+    NodeStats ns = node->stats();
+    // The engine counts rounds itself; a crash recreates the engine and
+    // resets the counter, so this undercounts across crashes (documented
+    // behaviour — the counter is a failure-handling signal, not an exact
+    // ledger).
+    ns.termination_rounds = node->engine().termination_rounds();
+    out.total.Merge(ns);
+  }
+  out.net_messages_from_crashed = network_->messages_from_crashed();
+  out.net_messages_to_crashed = network_->messages_to_crashed();
+  return out;
+}
+
+void ThreadCluster::EnableTracing(size_t capacity) {
+  for (auto& node : nodes_) node->EnableTracing(capacity);
+}
+
+std::vector<const TraceRecorder*> ThreadCluster::recorders() const {
+  std::vector<const TraceRecorder*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(&node->trace());
+  return out;
 }
 
 }  // namespace ecdb

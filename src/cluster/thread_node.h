@@ -18,6 +18,7 @@
 #include "net/channel.h"
 #include "stats/metrics.h"
 #include "storage/table.h"
+#include "trace/trace_recorder.h"
 #include "txn/transaction.h"
 #include "wal/wal.h"
 #include "workload/workload.h"
@@ -84,6 +85,16 @@ class ThreadNode : public CommitEnv {
   void ApplyDecision(TxnId txn, Decision decision) override;
   void OnBlocked(TxnId txn) override;
   void OnCleanup(TxnId txn) override;
+  void OnPhaseSample(TxnId txn, CommitPhase phase,
+                     Micros elapsed_us) override;
+
+  /// Turns on protocol tracing. Call before Start(): the recorder is owned
+  /// by the node thread once the loop runs (inert under ECDB_TRACE=OFF).
+  void EnableTracing(size_t capacity = TraceRecorder::kDefaultCapacity) {
+    trace_.Enable(capacity);
+  }
+  /// Read the recorder only after Stop() — it is thread-confined.
+  const TraceRecorder& trace() const { return trace_; }
 
   /// Stops issuing new client transactions; in-flight ones run to
   /// completion and aborted ones are not retried. After a short drain the
@@ -305,7 +316,7 @@ class ThreadNode : public CommitEnv {
   };
 
   void Loop();
-  Micros NowUs() const;
+  Micros NowUs() const override;
   void HandleMessage(const Message& msg);
   void FireDueTimers();
   void ScheduleTimer(Micros deadline, Timer timer);
@@ -376,6 +387,7 @@ class ThreadNode : public CommitEnv {
   NodeStats stats_;
   std::atomic<uint64_t> committed_{0};
   std::chrono::steady_clock::time_point epoch_start_;
+  TraceRecorder trace_;
 };
 
 /// The threaded deployment: N ThreadNodes over a ThreadNetwork.
@@ -404,6 +416,18 @@ class ThreadCluster {
 
   /// Total committed transactions across nodes (live, approximate).
   uint64_t TotalCommitted() const;
+
+  /// Merges per-node stats into a ClusterStats for a window of
+  /// `duration_seconds`. Per-node counters are thread-confined, so call
+  /// only after Stop().
+  ClusterStats CollectStats(double duration_seconds) const;
+
+  /// Turns on protocol tracing on every node. Call before Start().
+  void EnableTracing(size_t capacity = TraceRecorder::kDefaultCapacity);
+
+  /// Per-node recorders, for CollectEvents + the exporters. Read only
+  /// after Stop().
+  std::vector<const TraceRecorder*> recorders() const;
 
  private:
   ThreadClusterConfig config_;

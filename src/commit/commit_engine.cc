@@ -41,21 +41,32 @@ void CommitEngine::BroadcastDecision(TxnId txn, TxnRecord& rec,
   const MsgType type = rec.decision == Decision::kCommit
                            ? MsgType::kGlobalCommit
                            : MsgType::kGlobalAbort;
+  uint64_t recipients = 0;
   if (!rec.participants.empty()) {
     for (NodeId p : rec.participants) {
-      if (p != env_->self()) SendTo(p, txn, type, rec, forwarded);
+      if (p != env_->self()) {
+        SendTo(p, txn, type, rec, forwarded);
+        recipients++;
+      }
     }
-    return;
+  } else {
+    // Degenerate case: this node never learned the participant list (no
+    // Prepare arrived). Tell whoever we know about: the coordinator and any
+    // node that answered our termination query.
+    std::unordered_set<NodeId> targets;
+    if (rec.coordinator != kInvalidNode && rec.coordinator != env_->self()) {
+      targets.insert(rec.coordinator);
+    }
+    for (const auto& [node, reply] : rec.term_replies) targets.insert(node);
+    for (NodeId t : targets) SendTo(t, txn, type, rec, forwarded);
+    recipients = targets.size();
   }
-  // Degenerate case: this node never learned the participant list (no
-  // Prepare arrived). Tell whoever we know about: the coordinator and any
-  // node that answered our termination query.
-  std::unordered_set<NodeId> targets;
-  if (rec.coordinator != kInvalidNode && rec.coordinator != env_->self()) {
-    targets.insert(rec.coordinator);
-  }
-  for (const auto& [node, reply] : rec.term_replies) targets.insert(node);
-  for (NodeId t : targets) SendTo(t, txn, type, rec, forwarded);
+  // Every path that pushes the decision onto the network funnels through
+  // here (coordinator broadcast, EC forward, termination leader), so this
+  // is the one place the transmit leg of "first transmit then commit" is
+  // traced. EC-noforward participants never reach it — by design.
+  Trace(TraceEventType::kDecisionTransmit, txn, recipients, kInvalidNode,
+        static_cast<uint8_t>(rec.decision));
 }
 
 // --------------------------------------------------------------------------
@@ -70,7 +81,8 @@ void CommitEngine::StartCommit(TxnId txn, std::vector<NodeId> participants,
   rec.coordinator = env_->self();
   rec.participants = std::move(participants);
   rec.own_vote = own_vote;
-  rec.state = CohortState::kWait;
+  rec.start_us = env_->NowUs();
+  SetState(txn, rec, CohortState::kWait);
 
   if (protocol_ != CommitProtocol::kTwoPhasePresumedAbort) {
     env_->Log(txn, LogRecordType::kBeginCommit);
@@ -106,9 +118,13 @@ void CommitEngine::CoordinatorAllVotesIn(TxnId txn, TxnRecord& rec) {
     CoordinatorDecide(txn, rec, Decision::kAbort);
     return;
   }
+  // Commit-bound: the vote-collection phase ends here (abort-bound
+  // transactions are excluded from phase-latency accounting).
+  env_->OnPhaseSample(txn, CommitPhase::kVoteCollection,
+                      env_->NowUs() - rec.start_us);
   if (protocol_ == CommitProtocol::kThreePhase) {
     // Extra phase: Prepare-to-Commit, then wait for acknowledgments.
-    rec.state = CohortState::kPreCommit;
+    SetState(txn, rec, CohortState::kPreCommit);
     env_->Log(txn, LogRecordType::kPreCommit);
     for (NodeId c : Cohorts(rec)) {
       SendTo(c, txn, MsgType::kPreCommit, rec);
@@ -145,6 +161,14 @@ void CommitEngine::CoordinatorDecide(TxnId txn, TxnRecord& rec,
   // "First transmit and then commit": the global decision reaches the
   // network before the coordinator applies it locally. (2PC/3PC share the
   // ordering; the distinction is that they then wait for acknowledgments.)
+  // EC makes the transmit leg an explicit (hidden) state — Figure 6's
+  // TRANSMIT-C/TRANSMIT-A — which the trace records even though control
+  // passes straight through it.
+  if (IsEasyCommit()) {
+    SetState(txn, rec, decision == Decision::kCommit
+                           ? CohortState::kTransmitC
+                           : CohortState::kTransmitA);
+  }
   BroadcastDecision(txn, rec, /*forwarded=*/false);
   if (AcksExpectedFor(decision)) {
     // Wait for an ack from every cohort that voted commit (abort-voters
@@ -203,7 +227,8 @@ void CommitEngine::OnPrepare(const Message& msg) {
                                      : MsgType::kVoteAbort,
            rec);
     env_->Log(msg.txn, LogRecordType::kReady);
-    rec.state = CohortState::kReady;
+    rec.ready_us = env_->NowUs();
+    SetState(msg.txn, rec, CohortState::kReady);
     env_->ArmTimer(msg.txn, config_.timeout_us);
     return;
   }
@@ -211,7 +236,8 @@ void CommitEngine::OnPrepare(const Message& msg) {
   if (vote == Decision::kCommit) {
     env_->Log(msg.txn, LogRecordType::kReady);
     SendTo(msg.src, msg.txn, MsgType::kVoteCommit, rec);
-    rec.state = CohortState::kReady;
+    rec.ready_us = env_->NowUs();
+    SetState(msg.txn, rec, CohortState::kReady);
     env_->ArmTimer(msg.txn, config_.timeout_us);
     return;
   }
@@ -232,7 +258,7 @@ void CommitEngine::OnPreCommitMsg(const Message& msg, TxnRecord& rec) {
   }
   if (rec.state != CohortState::kReady) return;
   env_->Log(msg.txn, LogRecordType::kPreCommit);
-  rec.state = CohortState::kPreCommit;
+  SetState(msg.txn, rec, CohortState::kPreCommit);
   SendTo(msg.src, msg.txn, MsgType::kPreCommitAck, rec);
   env_->ArmTimer(msg.txn, config_.timeout_us);
 }
@@ -268,7 +294,27 @@ void CommitEngine::AdoptDecision(TxnId txn, TxnRecord& rec, Decision decision,
   rec.decided = true;
   rec.decision = decision;
 
+  // Participant-side transmit phase: READY until the decision arrived.
+  // Commit-bound only, and not for termination outcomes (those measure
+  // failure handling, not the steady-state transmit leg).
+  if (!from_termination && decision == Decision::kCommit &&
+      rec.ready_us != 0) {
+    env_->OnPhaseSample(txn, CommitPhase::kDecisionTransmit,
+                        env_->NowUs() - rec.ready_us);
+  }
+  // EC's hidden transmit state (Figure 6): entered on learning the
+  // decision, left once the forwards are on the wire.
+  if (IsEasyCommit() && (from_termination || ForwardingEnabled())) {
+    SetState(txn, rec, decision == Decision::kCommit
+                           ? CohortState::kTransmitC
+                           : CohortState::kTransmitA);
+  }
+
   if (from_termination) {
+    Trace(TraceEventType::kTermRoundOutcome, txn, 0, kInvalidNode,
+          static_cast<uint8_t>(decision == Decision::kCommit
+                                   ? TermOutcome::kLedCommit
+                                   : TermOutcome::kLedAbort));
     // Termination leader: log the decision as reached, then transmit
     // (paper cases A-C and the leader-election rule).
     env_->Log(txn, decision == Decision::kCommit
@@ -301,7 +347,10 @@ void CommitEngine::ApplyAndLog(TxnId txn, TxnRecord& rec, Decision decision) {
   ECDB_CHECK(!rec.applied);
   rec.applied = true;
   rec.blocked = false;
+  Trace(TraceEventType::kDecisionApply, txn, 0, kInvalidNode,
+        static_cast<uint8_t>(decision));
   env_->ApplyDecision(txn, decision);
+  rec.applied_us = env_->NowUs();
   const bool presumed = protocol_ == CommitProtocol::kTwoPhasePresumedAbort &&
                         decision == Decision::kAbort;
   if (!presumed) {
@@ -309,8 +358,8 @@ void CommitEngine::ApplyAndLog(TxnId txn, TxnRecord& rec, Decision decision) {
                        ? LogRecordType::kTransactionCommit
                        : LogRecordType::kTransactionAbort);
   }
-  rec.state = decision == Decision::kCommit ? CohortState::kCommitted
-                                            : CohortState::kAborted;
+  SetState(txn, rec, decision == Decision::kCommit ? CohortState::kCommitted
+                                                   : CohortState::kAborted);
   if (config_.keep_decision_ledger) decision_ledger_[txn] = decision;
 }
 
@@ -349,7 +398,13 @@ void CommitEngine::MaybeCleanup(TxnId txn, TxnRecord& rec) {
 }
 
 void CommitEngine::FinishCleanup(TxnId txn, TxnRecord& rec) {
-  (void)rec;
+  // Apply phase: decision applied locally until resources are released
+  // (for EC this spans the wait for every participant's forward).
+  if (rec.applied && rec.decision == Decision::kCommit) {
+    env_->OnPhaseSample(txn, CommitPhase::kDecisionApply,
+                        env_->NowUs() - rec.applied_us);
+  }
+  Trace(TraceEventType::kCleanup, txn);
   env_->CancelTimer(txn);
   env_->OnCleanup(txn);
   records_.erase(txn);  // `rec` is invalid past this line
@@ -419,6 +474,8 @@ void CommitEngine::StartTermination(TxnId txn, TxnRecord& rec) {
     // rounds; under fail-stop the missing coordinator never returns.
     if (!rec.blocked) {
       rec.blocked = true;
+      Trace(TraceEventType::kTermRoundOutcome, txn, 0, kInvalidNode,
+            static_cast<uint8_t>(TermOutcome::kBlocked));
       env_->OnBlocked(txn);
     }
     rec.in_termination = false;
@@ -428,6 +485,7 @@ void CommitEngine::StartTermination(TxnId txn, TxnRecord& rec) {
   rec.term_attempts++;
   rec.in_termination = true;
   rec.term_replies.clear();
+  Trace(TraceEventType::kTermRoundStart, txn, rec.term_attempts);
 
   std::unordered_set<NodeId> targets;
   for (NodeId p : rec.participants) {
@@ -517,6 +575,8 @@ void CommitEngine::TerminationEvaluate(TxnId txn, TxnRecord& rec) {
     // Someone with a smaller id is active; defer to them. If their
     // decision never arrives (they crashed mid-termination), the next
     // timeout re-runs the election without them.
+    Trace(TraceEventType::kTermRoundOutcome, txn, 0, leader,
+          static_cast<uint8_t>(TermOutcome::kDeferred));
     rec.in_termination = false;
     env_->ArmTimer(txn, config_.timeout_us);
     return;
@@ -533,6 +593,8 @@ void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
     // failure (they would have received any decision per the transmit-
     // before-commit discipline). Keep consulting until a peer (or its
     // decision ledger) answers.
+    Trace(TraceEventType::kTermRoundOutcome, txn, 0, kInvalidNode,
+          static_cast<uint8_t>(TermOutcome::kDeferred));
     rec.in_termination = false;
     env_->ArmTimer(txn, config_.timeout_us);
     return;
@@ -549,6 +611,8 @@ void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
     }
   }
   if (coordinator_active_undecided) {
+    Trace(TraceEventType::kTermRoundOutcome, txn, 0, rec.coordinator,
+          static_cast<uint8_t>(TermOutcome::kDeferred));
     rec.in_termination = false;
     env_->ArmTimer(txn, config_.timeout_us);
     return;
@@ -591,6 +655,8 @@ void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
       }
       rec.blocked = true;
       rec.in_termination = false;
+      Trace(TraceEventType::kTermRoundOutcome, txn, 0, kInvalidNode,
+            static_cast<uint8_t>(TermOutcome::kBlocked));
       env_->OnBlocked(txn);
       if (rec.term_attempts < kMaxBlockedRetries) {
         env_->ArmTimer(txn, config_.timeout_us);
@@ -611,7 +677,7 @@ void CommitEngine::ResumeAfterRecovery(TxnId txn, NodeId coordinator,
   rec.is_coordinator = false;
   rec.coordinator = coordinator;
   rec.participants = std::move(participants);
-  rec.state = state;
+  SetState(txn, rec, state);
   rec.recovered = true;
   // The next timeout runs the termination protocol, which asks the
   // participants whether a decision was reached.

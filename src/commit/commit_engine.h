@@ -13,6 +13,7 @@
 #include "common/cow_vector.h"
 #include "common/types.h"
 #include "net/message.h"
+#include "trace/trace_recorder.h"
 
 namespace ecdb {
 
@@ -159,6 +160,14 @@ class CommitEngine {
   /// forwarding-disabled ablation.
   uint64_t conflicting_decisions() const { return conflicting_decisions_; }
 
+  /// Attaches the host's trace recorder. The engine records protocol-level
+  /// events (state transitions, decision transmit/apply, termination
+  /// rounds) into it; message/timer/WAL events are recorded by the host at
+  /// its CommitEnv implementation, where the I/O actually happens. Pass
+  /// nullptr to detach. Must be re-called if the host recreates the engine
+  /// (e.g. after a simulated crash).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct TxnRecord {
     bool is_coordinator = false;
@@ -192,6 +201,11 @@ class CommitEngine {
     bool in_termination = false;
     uint32_t term_attempts = 0;
     std::unordered_map<NodeId, Message> term_replies;
+
+    // Phase-latency anchors (observability only; per-node clock).
+    Micros start_us = 0;    // coordinator: StartCommit
+    Micros ready_us = 0;    // participant: entered READY
+    Micros applied_us = 0;  // decision applied locally
   };
 
   /// After this many fruitless termination rounds a blocked 2PC cohort
@@ -200,6 +214,23 @@ class CommitEngine {
   static constexpr uint32_t kMaxBlockedRetries = 5;
 
   TxnRecord* Find(TxnId txn);
+
+  /// Records a protocol trace event if a recorder is attached and enabled
+  /// (two predictable branches on the disabled path; compiled out entirely
+  /// under ECDB_TRACE=OFF).
+  void Trace(TraceEventType type, TxnId txn, uint64_t arg = 0,
+             NodeId peer = kInvalidNode, uint8_t a = 0, uint8_t b = 0) {
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Record(type, env_->NowUs(), txn, arg, peer, a, b);
+    }
+  }
+
+  /// Transitions `rec` to `next`, tracing old -> new.
+  void SetState(TxnId txn, TxnRecord& rec, CohortState next) {
+    Trace(TraceEventType::kTxnState, txn, 0, kInvalidNode,
+          static_cast<uint8_t>(next), static_cast<uint8_t>(rec.state));
+    rec.state = next;
+  }
 
   std::vector<NodeId> Cohorts(const TxnRecord& rec) const;
   void SendTo(NodeId dst, TxnId txn, MsgType type, const TxnRecord& rec,
@@ -270,6 +301,7 @@ class CommitEngine {
   CommitProtocol protocol_;
   CommitEnv* env_;
   CommitEngineConfig config_;
+  TraceRecorder* trace_ = nullptr;
   std::unordered_map<TxnId, TxnRecord> records_;
   std::unordered_map<TxnId, Decision> decision_ledger_;
   uint64_t termination_rounds_ = 0;

@@ -7,6 +7,20 @@
 
 namespace ecdb {
 
+/// Phases of a committed transaction's commit-protocol lifetime, measured
+/// at the coordinator/participant that owns the sample:
+///  * kVoteCollection  — coordinator: StartCommit until the last vote is in
+///  * kDecisionTransmit — participant: entering READY until the global
+///    decision arrives (the transmit leg of "first transmit then commit")
+///  * kDecisionApply   — any node: decision applied locally until cleanup
+enum class CommitPhase : uint8_t {
+  kVoteCollection,
+  kDecisionTransmit,
+  kDecisionApply,
+};
+
+inline constexpr size_t kNumCommitPhases = 3;
+
 /// Host interface for the commit-protocol engine. The protocol state
 /// machines are sans-I/O: every externally visible effect (sending a
 /// message, writing the log, arming a timeout, applying a decision) goes
@@ -56,6 +70,21 @@ class CommitEnv {
   /// the forwarded decision was received from every other participant, per
   /// Section 5.3); transaction resources may be released.
   virtual void OnCleanup(TxnId txn) = 0;
+
+  /// Current time on this node's clock, in microseconds. Used only for
+  /// observability (trace timestamps and phase-latency samples), never for
+  /// protocol decisions, so the default is fine for hosts that don't track
+  /// time (hand-scripted unit tests).
+  virtual Micros NowUs() const { return 0; }
+
+  /// Observability hook: `txn` spent `elapsed_us` in `phase` on this node.
+  /// Emitted only for commit-bound transactions; hosts aggregate the
+  /// samples into per-phase latency histograms.
+  virtual void OnPhaseSample(TxnId txn, CommitPhase phase, Micros elapsed_us) {
+    (void)txn;
+    (void)phase;
+    (void)elapsed_us;
+  }
 };
 
 }  // namespace ecdb

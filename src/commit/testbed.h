@@ -12,6 +12,7 @@
 #include "commit/invariants.h"
 #include "net/network.h"
 #include "sim/scheduler.h"
+#include "trace/trace_recorder.h"
 #include "wal/wal.h"
 
 namespace ecdb {
@@ -32,37 +33,70 @@ class ProtocolHost : public CommitEnv {
   ProtocolHost(NodeId id, CommitProtocol protocol, Scheduler* scheduler,
                SimNetwork* network, SafetyMonitor* monitor,
                CommitEngineConfig config = {})
-      : id_(id), scheduler_(scheduler), network_(network), monitor_(monitor) {
+      : id_(id),
+        trace_(id),
+        scheduler_(scheduler),
+        network_(network),
+        monitor_(monitor) {
     config.keep_decision_ledger = true;
     engine_ = std::make_unique<CommitEngine>(protocol, this, config);
+    engine_->set_trace(&trace_);
     network_->RegisterNode(id_, [this](const Message& msg) {
-      if (!network_->IsCrashed(id_)) engine_->OnMessage(msg);
+      if (network_->IsCrashed(id_)) return;
+      if (trace_.enabled()) {
+        trace_.Record(TraceEventType::kMsgRecv, scheduler_->Now(), msg.txn,
+                      msg.trace_seq, msg.src,
+                      static_cast<uint8_t>(msg.type));
+      }
+      engine_->OnMessage(msg);
     });
   }
 
   // --- CommitEnv ---
   NodeId self() const override { return id_; }
 
+  Micros NowUs() const override { return scheduler_->Now(); }
+
   void Send(Message msg) override {
     msg.src = id_;
+    if (trace_.enabled()) {
+      msg.trace_seq = trace_.NextSeq();
+      trace_.Record(TraceEventType::kMsgSend, scheduler_->Now(), msg.txn,
+                    msg.trace_seq, msg.dst, static_cast<uint8_t>(msg.type));
+    }
     network_->Send(std::move(msg));
   }
 
   void Log(TxnId txn, LogRecordType type) override {
+    if (trace_.enabled()) {
+      trace_.Record(TraceEventType::kWalWrite, scheduler_->Now(), txn, 0,
+                    kInvalidNode, static_cast<uint8_t>(type));
+    }
     wal_.Append({0, txn, type, {}});
   }
 
   void ArmTimer(TxnId txn, Micros delay_us) override {
     CancelTimer(txn);
+    if (trace_.enabled()) {
+      trace_.Record(TraceEventType::kTimerArm, scheduler_->Now(), txn,
+                    delay_us);
+    }
     timers_[txn] = scheduler_->ScheduleAfter(delay_us, [this, txn]() {
       timers_.erase(txn);
-      if (!network_->IsCrashed(id_)) engine_->OnTimeout(txn);
+      if (network_->IsCrashed(id_)) return;
+      if (trace_.enabled()) {
+        trace_.Record(TraceEventType::kTimerFire, scheduler_->Now(), txn);
+      }
+      engine_->OnTimeout(txn);
     });
   }
 
   void CancelTimer(TxnId txn) override {
     auto it = timers_.find(txn);
     if (it == timers_.end()) return;
+    if (trace_.enabled()) {
+      trace_.Record(TraceEventType::kTimerCancel, scheduler_->Now(), txn);
+    }
     scheduler_->Cancel(it->second);
     timers_.erase(it);
   }
@@ -97,8 +131,14 @@ class ProtocolHost : public CommitEnv {
   void set_vote(Decision vote) { vote_ = vote; }
   void set_crash_after_apply(bool v) { crash_after_apply_ = v; }
 
+  /// Turns on event tracing for this host (inert under ECDB_TRACE=OFF).
+  void EnableTracing(size_t capacity = TraceRecorder::kDefaultCapacity) {
+    trace_.Enable(capacity);
+  }
+
   CommitEngine& engine() { return *engine_; }
   MemoryWal& wal() { return wal_; }
+  TraceRecorder& trace() { return trace_; }
 
   std::optional<Decision> applied(TxnId txn) const {
     auto it = applied_.find(txn);
@@ -119,6 +159,7 @@ class ProtocolHost : public CommitEnv {
 
  private:
   NodeId id_;
+  TraceRecorder trace_;
   Scheduler* scheduler_;
   SimNetwork* network_;
   SafetyMonitor* monitor_;
@@ -162,6 +203,19 @@ class ProtocolTestbed {
   /// Runs the simulation to quiescence (or the event cap).
   size_t Settle(size_t max_events = 1'000'000) {
     return scheduler_.RunAll(max_events);
+  }
+
+  /// Turns on tracing on every host. Call before the scenario runs.
+  void EnableTracing(size_t capacity = TraceRecorder::kDefaultCapacity) {
+    for (auto& h : hosts_) h->EnableTracing(capacity);
+  }
+
+  /// Per-node recorders, for CollectEvents + the exporters.
+  std::vector<const TraceRecorder*> recorders() const {
+    std::vector<const TraceRecorder*> out;
+    out.reserve(hosts_.size());
+    for (const auto& h : hosts_) out.push_back(&h->trace());
+    return out;
   }
 
   ProtocolHost& host(NodeId id) { return *hosts_[id]; }

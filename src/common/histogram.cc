@@ -70,8 +70,14 @@ double Histogram::Mean() const {
 uint64_t Histogram::Percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t rank = static_cast<uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // Nearest-rank, clamped to rank 1 so q=0 asks for the first sample
+  // rather than rank 0 (which used to return the first non-empty bucket's
+  // upper bound instead of the minimum).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  // Rank 1 is the smallest sample, which is tracked exactly; this also
+  // makes every percentile of a single-sample histogram exact.
+  if (rank <= 1) return min_;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];

@@ -99,6 +99,12 @@ struct Message {
   /// kRemoteExec: the transaction's WAIT_DIE priority timestamp.
   uint64_t priority_ts = 0;
 
+  /// Per-sender trace sequence number, stamped by hosts when tracing is
+  /// enabled so a receive event can name the exact send it pairs with.
+  /// Observability-only: excluded from ApproximateBytes (a real system
+  /// would ship it in a debug header, not the protocol payload).
+  uint64_t trace_seq = 0;
+
   /// Estimated serialized size in bytes, used by the network model.
   size_t ApproximateBytes() const;
 };

@@ -27,10 +27,14 @@ void NodeStats::Merge(const NodeStats& other) {
   txns_aborted += other.txns_aborted;
   txns_blocked += other.txns_blocked;
   commit_protocol_runs += other.commit_protocol_runs;
+  termination_rounds += other.termination_rounds;
   for (size_t i = 0; i < kNumTimeCategories; ++i) {
     time_us[i] += other.time_us[i];
   }
   latency.Merge(other.latency);
+  phase_vote.Merge(other.phase_vote);
+  phase_transmit.Merge(other.phase_transmit);
+  phase_apply.Merge(other.phase_apply);
 }
 
 void NodeStats::Clear() {
@@ -38,8 +42,12 @@ void NodeStats::Clear() {
   txns_aborted = 0;
   txns_blocked = 0;
   commit_protocol_runs = 0;
+  termination_rounds = 0;
   time_us.fill(0);
   latency.Clear();
+  phase_vote.Clear();
+  phase_transmit.Clear();
+  phase_apply.Clear();
 }
 
 double ClusterStats::TimeFraction(TimeCategory category) const {

@@ -34,12 +34,24 @@ struct NodeStats {
   uint64_t txns_blocked = 0;
   uint64_t commit_protocol_runs = 0;
 
+  /// Termination-protocol rounds initiated by this node in the window
+  /// (nonzero only under failures or very aggressive timeouts).
+  uint64_t termination_rounds = 0;
+
   /// Microseconds of worker time per category (Figure 12).
   std::array<uint64_t, kNumTimeCategories> time_us{};
 
   /// End-to-end latency (first start to final commit) of committed
   /// transactions, in microseconds.
   Histogram latency;
+
+  /// Phase-latency breakdown of the commit protocol for commit-bound
+  /// transactions (see CommitPhase in commit/commit_env.h): time to
+  /// collect votes (coordinator), time from READY to the decision's
+  /// arrival (participants), and time from local apply to cleanup.
+  Histogram phase_vote;
+  Histogram phase_transmit;
+  Histogram phase_apply;
 
   void AddTime(TimeCategory category, uint64_t us) {
     time_us[static_cast<size_t>(category)] += us;
@@ -57,6 +69,12 @@ struct ClusterStats {
   NodeStats total;               // merged over nodes
   double duration_seconds = 0;   // measurement window length
   uint32_t num_nodes = 0;
+
+  /// Network-level loss accounting (whole run, not just the window):
+  /// messages a crashed node would have sent (suppressed at the source)
+  /// and messages addressed to a crashed node (dropped at the sink).
+  uint64_t net_messages_from_crashed = 0;
+  uint64_t net_messages_to_crashed = 0;
 
   /// Committed transactions per second of (simulated) time.
   double Throughput() const {

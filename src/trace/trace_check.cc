@@ -1,0 +1,36 @@
+#include "trace/trace_check.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace ecdb {
+
+TraceCheckResult CheckTransmitBeforeApply(const ParsedTrace& trace) {
+  TraceCheckResult result;
+  result.strict = trace.meta.protocol == "EC";
+  if (!result.strict) return result;
+
+  // Events are time-sorted at export with per-node recording order
+  // preserved for ties, so a single forward pass sees each node's events
+  // in the order that node produced them.
+  std::set<std::pair<NodeId, TxnId>> transmitted;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.type == TraceEventType::kDecisionTransmit) {
+      transmitted.emplace(ev.node, ev.txn);
+    } else if (ev.type == TraceEventType::kDecisionApply) {
+      ++result.applies_checked;
+      if (!transmitted.count({ev.node, ev.txn})) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "node " << ev.node << " applied txn " << TxnCoordinator(ev.txn)
+           << ":" << TxnSequence(ev.txn) << " at t=" << ev.at
+           << "us without a preceding decision transmit";
+        result.violations.push_back(os.str());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ecdb

@@ -1,0 +1,30 @@
+#ifndef ECDB_TRACE_TRACE_CHECK_H_
+#define ECDB_TRACE_TRACE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.h"
+
+namespace ecdb {
+
+/// Result of an offline invariant check over a parsed trace.
+struct TraceCheckResult {
+  bool ok = true;
+  bool strict = false;        // true when the invariant applied (EC trace)
+  uint64_t applies_checked = 0;
+  std::vector<std::string> violations;
+};
+
+/// Checks EasyCommit's defining ordering invariant — "first transmit, then
+/// commit" (paper §3): every local decision apply on a node must be
+/// preceded, on that same node, by that node's own decision transmit for
+/// the same transaction. The check is strict only for protocol "EC";
+/// other protocols (including the EC-noforward ablation, where
+/// participants intentionally skip forwarding) legitimately apply without
+/// transmitting, so the checker reports strict=false and passes.
+TraceCheckResult CheckTransmitBeforeApply(const ParsedTrace& trace);
+
+}  // namespace ecdb
+
+#endif  // ECDB_TRACE_TRACE_CHECK_H_

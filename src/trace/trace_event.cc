@@ -1,0 +1,49 @@
+#include "trace/trace_event.h"
+
+namespace ecdb {
+
+std::string ToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTxnState:
+      return "TxnState";
+    case TraceEventType::kMsgSend:
+      return "MsgSend";
+    case TraceEventType::kMsgRecv:
+      return "MsgRecv";
+    case TraceEventType::kTimerArm:
+      return "TimerArm";
+    case TraceEventType::kTimerFire:
+      return "TimerFire";
+    case TraceEventType::kTimerCancel:
+      return "TimerCancel";
+    case TraceEventType::kWalWrite:
+      return "WalWrite";
+    case TraceEventType::kTermRoundStart:
+      return "TermRoundStart";
+    case TraceEventType::kTermRoundOutcome:
+      return "TermRoundOutcome";
+    case TraceEventType::kDecisionTransmit:
+      return "DecisionTransmit";
+    case TraceEventType::kDecisionApply:
+      return "DecisionApply";
+    case TraceEventType::kCleanup:
+      return "Cleanup";
+  }
+  return "Unknown";
+}
+
+std::string ToString(TermOutcome outcome) {
+  switch (outcome) {
+    case TermOutcome::kDeferred:
+      return "deferred";
+    case TermOutcome::kBlocked:
+      return "blocked";
+    case TermOutcome::kLedAbort:
+      return "led-abort";
+    case TermOutcome::kLedCommit:
+      return "led-commit";
+  }
+  return "unknown";
+}
+
+}  // namespace ecdb

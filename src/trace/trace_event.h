@@ -1,0 +1,72 @@
+#ifndef ECDB_TRACE_TRACE_EVENT_H_
+#define ECDB_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace ecdb {
+
+/// What a TraceEvent describes. One enum covers both runtimes: protocol
+/// state transitions (including the paper's hidden TRANSMIT-A/TRANSMIT-C
+/// states, Figure 6), message causality, timers, WAL writes and the
+/// termination protocol. The `arg`/`a`/`b` payload fields are interpreted
+/// per type (see the field comments on TraceEvent).
+enum class TraceEventType : uint8_t {
+  kTxnState,          // a = new CohortState, b = previous CohortState
+  kMsgSend,           // peer = dst, a = MsgType, arg = per-sender seq
+  kMsgRecv,           // peer = src, a = MsgType, arg = sender's seq
+  kTimerArm,          // arg = delay_us
+  kTimerFire,         //
+  kTimerCancel,       //
+  kWalWrite,          // a = LogRecordType
+  kTermRoundStart,    // arg = attempt number (1-based)
+  kTermRoundOutcome,  // a = TermOutcome
+  kDecisionTransmit,  // a = Decision, arg = number of recipients
+  kDecisionApply,     // a = Decision
+  kCleanup,           //
+};
+
+inline constexpr size_t kNumTraceEventTypes =
+    static_cast<size_t>(TraceEventType::kCleanup) + 1;
+
+/// Returns a short name like "TxnState" or "DecisionTransmit". The names
+/// are part of the JSONL schema (docs/OBSERVABILITY.md): exporters write
+/// them and TraceReader parses them back.
+std::string ToString(TraceEventType type);
+
+/// How a termination round concluded on the initiating node.
+enum class TermOutcome : uint8_t {
+  kDeferred,   // another node leads (or the coordinator is still deciding)
+  kBlocked,    // 2PC cooperative termination: all READY, coordinator down
+  kLedAbort,   // this node led and decided abort
+  kLedCommit,  // this node led and decided commit
+};
+
+std::string ToString(TermOutcome outcome);
+
+/// One fixed-size POD trace event. The record path stores these into a
+/// preallocated ring, so the struct must stay trivially copyable and free
+/// of owning members; anything variable-sized is encoded into the integer
+/// payload fields and decoded at export time.
+struct TraceEvent {
+  Micros at = 0;               // per-node clock (see docs/OBSERVABILITY.md)
+  TxnId txn = kInvalidTxn;
+  uint64_t arg = 0;            // per-type payload (seq, delay, count, ...)
+  NodeId node = 0;             // recording node
+  NodeId peer = kInvalidNode;  // counterpart node for send/recv
+  TraceEventType type = TraceEventType::kTxnState;
+  uint8_t a = 0;               // per-type payload (state, msg type, ...)
+  uint8_t b = 0;               // per-type payload (previous state)
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent is stored in a preallocated ring buffer");
+
+}  // namespace ecdb
+
+#endif  // ECDB_TRACE_TRACE_EVENT_H_

@@ -1,0 +1,199 @@
+#include "trace/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "net/message.h"
+#include "wal/log_record.h"
+
+namespace ecdb {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> CollectEvents(
+    const std::vector<const TraceRecorder*>& recorders) {
+  std::vector<TraceEvent> all;
+  size_t n = 0;
+  for (const TraceRecorder* r : recorders) {
+    if (r != nullptr) n += r->Events().size();
+  }
+  all.reserve(n);
+  for (const TraceRecorder* r : recorders) {
+    if (r == nullptr) continue;
+    std::vector<TraceEvent> evs = r->Events();
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  // Stable so that same-timestamp events keep each node's recording order
+  // (e.g. an EC decision-transmit recorded before the same-instant apply).
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.at < y.at;
+                   });
+  return all;
+}
+
+std::string DescribeEvent(const TraceEvent& ev) {
+  std::ostringstream os;
+  switch (ev.type) {
+    case TraceEventType::kTxnState:
+      os << ToString(static_cast<CohortState>(ev.b)) << " -> "
+         << ToString(static_cast<CohortState>(ev.a));
+      break;
+    case TraceEventType::kMsgSend:
+      os << "send " << ToString(static_cast<MsgType>(ev.a)) << " to "
+         << ev.peer << " seq " << ev.arg;
+      break;
+    case TraceEventType::kMsgRecv:
+      os << "recv " << ToString(static_cast<MsgType>(ev.a)) << " from "
+         << ev.peer << " seq " << ev.arg;
+      break;
+    case TraceEventType::kTimerArm:
+      os << "arm timer +" << ev.arg << "us";
+      break;
+    case TraceEventType::kTimerFire:
+      os << "timer fired";
+      break;
+    case TraceEventType::kTimerCancel:
+      os << "timer cancelled";
+      break;
+    case TraceEventType::kWalWrite:
+      os << "wal " << ToString(static_cast<LogRecordType>(ev.a));
+      break;
+    case TraceEventType::kTermRoundStart:
+      os << "termination round " << ev.arg;
+      break;
+    case TraceEventType::kTermRoundOutcome:
+      os << "termination " << ToString(static_cast<TermOutcome>(ev.a));
+      break;
+    case TraceEventType::kDecisionTransmit:
+      os << "transmit " << ToString(static_cast<Decision>(ev.a)) << " to "
+         << ev.arg << " peers";
+      break;
+    case TraceEventType::kDecisionApply:
+      os << "apply " << ToString(static_cast<Decision>(ev.a));
+      break;
+    case TraceEventType::kCleanup:
+      os << "cleanup";
+      break;
+  }
+  return os.str();
+}
+
+void WriteJsonl(const TraceMeta& meta, const std::vector<TraceEvent>& events,
+                std::ostream& out) {
+  out << "{\"meta\":{\"runtime\":\"" << JsonEscape(meta.runtime)
+      << "\",\"protocol\":\"" << JsonEscape(meta.protocol)
+      << "\",\"num_nodes\":" << meta.num_nodes << "}}\n";
+  for (const TraceEvent& ev : events) {
+    out << "{\"at\":" << ev.at << ",\"node\":" << ev.node << ",\"type\":\""
+        << ToString(ev.type) << "\",\"txn\":" << ev.txn
+        << ",\"peer\":" << ev.peer << ",\"arg\":" << ev.arg
+        << ",\"a\":" << static_cast<unsigned>(ev.a)
+        << ",\"b\":" << static_cast<unsigned>(ev.b) << ",\"detail\":\""
+        << JsonEscape(DescribeEvent(ev)) << "\"}\n";
+  }
+}
+
+bool WriteJsonlFile(const TraceMeta& meta,
+                    const std::vector<TraceEvent>& events,
+                    const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  WriteJsonl(meta, events, f);
+  return static_cast<bool>(f);
+}
+
+void WriteChromeTrace(const TraceMeta& meta,
+                      const std::vector<TraceEvent>& events,
+                      std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"runtime\":\""
+      << JsonEscape(meta.runtime) << "\",\"protocol\":\""
+      << JsonEscape(meta.protocol) << "\"},\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  // One named track per node.
+  for (uint32_t n = 0; n < meta.num_nodes; ++n) {
+    comma();
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << n
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"node " << n
+        << "\"}}";
+  }
+  // One async span per transaction, from first to last traced event.
+  struct Span {
+    Micros begin;
+    Micros end;
+  };
+  std::map<TxnId, Span> spans;
+  for (const TraceEvent& ev : events) {
+    if (ev.txn == kInvalidTxn) continue;
+    auto [it, inserted] = spans.try_emplace(ev.txn, Span{ev.at, ev.at});
+    if (!inserted) {
+      it->second.begin = std::min(it->second.begin, ev.at);
+      it->second.end = std::max(it->second.end, ev.at);
+    }
+  }
+  for (const auto& [txn, span] : spans) {
+    comma();
+    out << "{\"ph\":\"b\",\"pid\":0,\"tid\":"
+        << static_cast<uint32_t>(TxnCoordinator(txn)) << ",\"cat\":\"txn\","
+        << "\"id\":" << txn << ",\"name\":\"txn " << TxnCoordinator(txn)
+        << ":" << TxnSequence(txn) << "\",\"ts\":" << span.begin << "}";
+    comma();
+    out << "{\"ph\":\"e\",\"pid\":0,\"tid\":"
+        << static_cast<uint32_t>(TxnCoordinator(txn)) << ",\"cat\":\"txn\","
+        << "\"id\":" << txn << ",\"name\":\"txn " << TxnCoordinator(txn)
+        << ":" << TxnSequence(txn) << "\",\"ts\":" << span.end << "}";
+  }
+  // Every event as an instant on its node's track.
+  for (const TraceEvent& ev : events) {
+    comma();
+    out << "{\"ph\":\"i\",\"pid\":0,\"tid\":" << ev.node << ",\"s\":\"t\","
+        << "\"name\":\"" << ToString(ev.type) << "\",\"ts\":" << ev.at
+        << ",\"args\":{\"txn\":" << ev.txn << ",\"detail\":\""
+        << JsonEscape(DescribeEvent(ev)) << "\"}}";
+  }
+  out << "\n]}\n";
+}
+
+bool WriteChromeTraceFile(const TraceMeta& meta,
+                          const std::vector<TraceEvent>& events,
+                          const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  WriteChromeTrace(meta, events, f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace ecdb

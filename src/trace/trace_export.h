@@ -1,0 +1,55 @@
+#ifndef ECDB_TRACE_TRACE_EXPORT_H_
+#define ECDB_TRACE_TRACE_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.h"
+#include "trace/trace_recorder.h"
+
+namespace ecdb {
+
+/// Run-level context written into every export so an offline tool (or the
+/// invariant checker) knows what it is looking at without side channels.
+struct TraceMeta {
+  std::string runtime;   // "sim", "thread" or "testbed"
+  std::string protocol;  // ToString(CommitProtocol), e.g. "EC"
+  uint32_t num_nodes = 0;
+};
+
+/// Merges per-node recorder contents into one time-ordered stream. The
+/// sort is stable over a node-by-node concatenation, so events with equal
+/// timestamps keep each node's recording order — which is what makes the
+/// exported order deterministic and lets the offline checker reason about
+/// same-instant transmit-before-apply sequences.
+std::vector<TraceEvent> CollectEvents(
+    const std::vector<const TraceRecorder*>& recorders);
+
+/// Human/grep-friendly decode of one event's payload, e.g.
+/// "INITIAL -> READY" or "send Prepare to 3 seq 12".
+std::string DescribeEvent(const TraceEvent& ev);
+
+/// JSONL export: one meta line, then one fixed-key-order JSON object per
+/// event. Byte-deterministic for a given (meta, events) input — pinned by
+/// tests/determinism_test.cc.
+void WriteJsonl(const TraceMeta& meta, const std::vector<TraceEvent>& events,
+                std::ostream& out);
+bool WriteJsonlFile(const TraceMeta& meta,
+                    const std::vector<TraceEvent>& events,
+                    const std::string& path);
+
+/// Chrome trace-event JSON (load in Perfetto or chrome://tracing): one
+/// named track per node (thread_name metadata + instant events) and one
+/// async span per transaction stretching from its first to its last traced
+/// event.
+void WriteChromeTrace(const TraceMeta& meta,
+                      const std::vector<TraceEvent>& events,
+                      std::ostream& out);
+bool WriteChromeTraceFile(const TraceMeta& meta,
+                          const std::vector<TraceEvent>& events,
+                          const std::string& path);
+
+}  // namespace ecdb
+
+#endif  // ECDB_TRACE_TRACE_EXPORT_H_

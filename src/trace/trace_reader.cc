@@ -1,0 +1,141 @@
+#include "trace/trace_reader.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace ecdb {
+namespace {
+
+// Finds `"key":` in `line` and returns the character offset just past the
+// colon, or npos. Keys in our schema never appear inside string values
+// except "detail", which is always last, so a plain search is safe as long
+// as we search for the quoted, colon-suffixed form.
+size_t FindValue(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + needle.size();
+}
+
+bool ParseU64(const std::string& line, const std::string& key, uint64_t* out) {
+  const size_t pos = FindValue(line, key);
+  if (pos == std::string::npos) return false;
+  uint64_t v = 0;
+  size_t i = pos;
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(line[i] - '0');
+    ++i;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseString(const std::string& line, const std::string& key,
+                 std::string* out) {
+  size_t pos = FindValue(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  std::string v;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+    v += line[pos];
+    ++pos;
+  }
+  if (pos >= line.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool TypeFromName(const std::string& name, TraceEventType* out) {
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    const auto t = static_cast<TraceEventType>(i);
+    if (ToString(t) == name) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ReadJsonlTrace(std::istream& in, ParsedTrace* out, std::string* error) {
+  out->meta = TraceMeta{};
+  out->events.clear();
+  std::string line;
+  size_t lineno = 0;
+  bool saw_meta = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (!saw_meta) {
+      if (line.find("\"meta\"") == std::string::npos) {
+        if (error) *error = "line 1: missing meta header";
+        return false;
+      }
+      ParseString(line, "runtime", &out->meta.runtime);
+      ParseString(line, "protocol", &out->meta.protocol);
+      uint64_t n = 0;
+      if (ParseU64(line, "num_nodes", &n)) {
+        out->meta.num_nodes = static_cast<uint32_t>(n);
+      }
+      saw_meta = true;
+      continue;
+    }
+    TraceEvent ev;
+    std::string type_name;
+    uint64_t at = 0, node = 0, txn = 0, peer = 0, arg = 0, a = 0, b = 0;
+    if (!ParseU64(line, "at", &at) || !ParseU64(line, "node", &node) ||
+        !ParseString(line, "type", &type_name) ||
+        !ParseU64(line, "txn", &txn)) {
+      if (error) {
+        std::ostringstream os;
+        os << "line " << lineno << ": malformed event";
+        *error = os.str();
+      }
+      return false;
+    }
+    if (!TypeFromName(type_name, &ev.type)) {
+      if (error) {
+        std::ostringstream os;
+        os << "line " << lineno << ": unknown event type '" << type_name
+           << "'";
+        *error = os.str();
+      }
+      return false;
+    }
+    ParseU64(line, "peer", &peer);
+    ParseU64(line, "arg", &arg);
+    ParseU64(line, "a", &a);
+    ParseU64(line, "b", &b);
+    ev.at = at;
+    ev.node = static_cast<NodeId>(node);
+    ev.txn = txn;
+    ev.peer = static_cast<NodeId>(peer);
+    ev.arg = arg;
+    ev.a = static_cast<uint8_t>(a);
+    ev.b = static_cast<uint8_t>(b);
+    out->events.push_back(ev);
+  }
+  if (!saw_meta) {
+    if (error) *error = "empty trace";
+    return false;
+  }
+  return true;
+}
+
+bool ReadJsonlTraceFile(const std::string& path, ParsedTrace* out,
+                        std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  return ReadJsonlTrace(f, out, error);
+}
+
+}  // namespace ecdb

@@ -1,0 +1,29 @@
+#ifndef ECDB_TRACE_TRACE_READER_H_
+#define ECDB_TRACE_TRACE_READER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.h"
+#include "trace/trace_export.h"
+
+namespace ecdb {
+
+/// A JSONL trace loaded back into memory for offline inspection/checking.
+struct ParsedTrace {
+  TraceMeta meta;
+  std::vector<TraceEvent> events;  // in file order (time-sorted at export)
+};
+
+/// Parses a JSONL trace produced by WriteJsonl. Returns false (with a
+/// message in *error) on malformed input. The parser is deliberately
+/// specific to our exporter's fixed schema — it is not a general JSON
+/// parser — but tolerates unknown keys so the schema can grow.
+bool ReadJsonlTrace(std::istream& in, ParsedTrace* out, std::string* error);
+bool ReadJsonlTraceFile(const std::string& path, ParsedTrace* out,
+                        std::string* error);
+
+}  // namespace ecdb
+
+#endif  // ECDB_TRACE_TRACE_READER_H_

@@ -17,11 +17,14 @@
 // result in docs/ shifts with it.
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "commit/testbed.h"
+#include "trace/trace_export.h"
 
 namespace ecdb {
 namespace {
@@ -133,6 +136,61 @@ TEST(DeterminismTest, RepeatedRunsReplayIdentically) {
   EXPECT_EQ(a.stats.messages_sent, b.stats.messages_sent);
   EXPECT_EQ(a.stats.bytes_sent, b.stats.bytes_sent);
 }
+
+#if ECDB_TRACE_ENABLED
+
+// The golden scenario with tracing enabled, exported to JSONL.
+std::string RunGoldenScenarioTraced() {
+  NetworkConfig net;
+  net.base_latency_us = 400;
+  net.jitter_us = 100;
+  CommitEngineConfig commit;
+  ProtocolTestbed bed(CommitProtocol::kEasyCommit, 5, net, commit, 20180326);
+  bed.EnableTracing();
+  for (int round = 0; round < 3; ++round) {
+    bed.StartAll();
+    bed.Settle();
+  }
+  TraceMeta meta;
+  meta.runtime = "testbed";
+  meta.protocol = ToString(CommitProtocol::kEasyCommit);
+  meta.num_nodes = 5;
+  std::ostringstream out;
+  WriteJsonl(meta, CollectEvents(bed.recorders()), out);
+  return out.str();
+}
+
+// The exported trace, not just the simulation, must be deterministic:
+// fresh testbeds with the same seed produce byte-identical JSONL. This
+// pins both the scheduler/RNG replay and the exporter's stable merge plus
+// fixed key order.
+TEST(DeterminismTest, ExportedJsonlIsByteIdentical) {
+  const std::string a = RunGoldenScenarioTraced();
+  const std::string b = RunGoldenScenarioTraced();
+  EXPECT_FALSE(a.empty());
+  EXPECT_GT(a.size(), 1000u);  // a real trace, not just the meta line
+  EXPECT_EQ(a, b);
+}
+
+// Enabling tracing must not perturb the simulation itself: same golden
+// hash and totals as the untraced run.
+TEST(DeterminismTest, TracingDoesNotPerturbGoldenTrace) {
+  NetworkConfig net;
+  net.base_latency_us = 400;
+  net.jitter_us = 100;
+  CommitEngineConfig commit;
+  ProtocolTestbed bed(CommitProtocol::kEasyCommit, 5, net, commit, 20180326);
+  bed.EnableTracing();
+  for (int round = 0; round < 3; ++round) {
+    bed.StartAll();
+    bed.Settle();
+  }
+  EXPECT_EQ(bed.network().stats().messages_delivered, 84u);
+  EXPECT_EQ(bed.network().stats().bytes_sent, 3696u);
+  EXPECT_EQ(bed.scheduler().Now(), 5769u);
+}
+
+#endif  // ECDB_TRACE_ENABLED
 
 }  // namespace
 }  // namespace ecdb

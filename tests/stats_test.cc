@@ -25,6 +25,57 @@ TEST(NodeStatsTest, AddAndReadTime) {
   EXPECT_EQ(stats.TimeIn(TimeCategory::kAbort), 0u);
 }
 
+TEST(HistogramTest, MergeEmptyIntoEmpty) {
+  Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 0.0);
+  EXPECT_EQ(a.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, MergeEmptyIntoNonEmptyKeepsBounds) {
+  Histogram a, empty;
+  a.Record(1000);
+  a.Record(2000);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 1000u);
+  EXPECT_EQ(a.max(), 2000u);
+}
+
+TEST(HistogramTest, MergeNonEmptyIntoEmptyAdoptsBounds) {
+  Histogram empty, b;
+  b.Record(1000);
+  b.Record(2000);
+  empty.Merge(b);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 1000u);
+  EXPECT_EQ(empty.max(), 2000u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 1500.0);
+}
+
+TEST(HistogramTest, SingleSamplePercentilesAreExact) {
+  Histogram h;
+  h.Record(12345);
+  EXPECT_EQ(h.Percentile(0.0), 12345u);
+  EXPECT_EQ(h.Percentile(0.5), 12345u);
+  EXPECT_EQ(h.Percentile(0.99), 12345u);
+  EXPECT_EQ(h.Percentile(1.0), 12345u);
+}
+
+TEST(HistogramTest, PercentileZeroIsMin) {
+  // Regression: rank used to round down to 0 at q=0, returning the first
+  // non-empty bucket's *upper* bound (1023 for a sample of 1000) rather
+  // than the tracked minimum.
+  Histogram h;
+  h.Record(1000);
+  h.Record(2000);
+  EXPECT_EQ(h.Percentile(0.0), 1000u);
+  EXPECT_EQ(h.Percentile(1.0), 2000u);
+}
+
 TEST(NodeStatsTest, MergeCombinesEverything) {
   NodeStats a, b;
   a.txns_committed = 10;

@@ -1,0 +1,139 @@
+// Offline inspector for JSONL protocol traces (see docs/OBSERVABILITY.md).
+//
+// Usage:
+//   trace_inspect TRACE.jsonl             # summary: events per node/type
+//   trace_inspect --txn C:SEQ TRACE.jsonl # per-transaction timeline
+//   trace_inspect --check TRACE.jsonl     # verify the EC ordering
+//                                         # invariant; exit 1 on violation
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace_check.h"
+#include "trace/trace_export.h"
+#include "trace/trace_reader.h"
+
+namespace {
+
+using namespace ecdb;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_inspect [--check | --txn COORD:SEQ] TRACE.jsonl\n");
+  return 2;
+}
+
+void PrintSummary(const ParsedTrace& trace) {
+  std::printf("runtime=%s protocol=%s nodes=%u events=%zu\n",
+              trace.meta.runtime.c_str(), trace.meta.protocol.c_str(),
+              trace.meta.num_nodes, trace.events.size());
+  std::map<NodeId, uint64_t> per_node;
+  std::map<std::string, uint64_t> per_type;
+  std::map<TxnId, uint64_t> per_txn;
+  for (const TraceEvent& ev : trace.events) {
+    per_node[ev.node]++;
+    per_type[ToString(ev.type)]++;
+    if (ev.txn != kInvalidTxn) per_txn[ev.txn]++;
+  }
+  std::printf("per-node:");
+  for (const auto& [node, n] : per_node) {
+    std::printf(" %u=%llu", node, static_cast<unsigned long long>(n));
+  }
+  std::printf("\nper-type:");
+  for (const auto& [type, n] : per_type) {
+    std::printf(" %s=%llu", type.c_str(), static_cast<unsigned long long>(n));
+  }
+  std::printf("\ntransactions traced: %zu\n", per_txn.size());
+}
+
+void PrintTimeline(const ParsedTrace& trace, TxnId txn) {
+  std::printf("timeline for txn %u:%llu (%s, per-node clocks)\n",
+              TxnCoordinator(txn),
+              static_cast<unsigned long long>(TxnSequence(txn)),
+              trace.meta.protocol.c_str());
+  size_t shown = 0;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.txn != txn) continue;
+    std::printf("  t=%-10llu node %-3u %-16s %s\n",
+                static_cast<unsigned long long>(ev.at), ev.node,
+                ToString(ev.type).c_str(), DescribeEvent(ev).c_str());
+    shown++;
+  }
+  if (shown == 0) std::printf("  (no events)\n");
+}
+
+int RunCheck(const ParsedTrace& trace) {
+  const TraceCheckResult result = CheckTransmitBeforeApply(trace);
+  if (!result.strict) {
+    std::printf(
+        "transmit-before-apply: not applicable (protocol %s); trace OK\n",
+        trace.meta.protocol.c_str());
+    return 0;
+  }
+  if (result.ok) {
+    std::printf(
+        "transmit-before-apply: OK (%llu applies, each preceded by the "
+        "node's own decision transmit)\n",
+        static_cast<unsigned long long>(result.applies_checked));
+    return 0;
+  }
+  std::fprintf(stderr, "transmit-before-apply: %zu violation(s)\n",
+               result.violations.size());
+  for (const std::string& v : result.violations) {
+    std::fprintf(stderr, "  %s\n", v.c_str());
+  }
+  return 1;
+}
+
+bool ParseTxnArg(const char* s, TxnId* out) {
+  const char* colon = std::strchr(s, ':');
+  if (colon == nullptr) return false;
+  char* end = nullptr;
+  const unsigned long coord = std::strtoul(s, &end, 10);
+  if (end != colon) return false;
+  const unsigned long long seq = std::strtoull(colon + 1, &end, 10);
+  if (*end != '\0') return false;
+  *out = MakeTxnId(static_cast<NodeId>(coord), seq);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  bool have_txn = false;
+  TxnId txn = kInvalidTxn;
+  const char* path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--txn") == 0) {
+      if (++i >= argc || !ParseTxnArg(argv[i], &txn)) return Usage();
+      have_txn = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path == nullptr) return Usage();
+
+  ParsedTrace trace;
+  std::string error;
+  if (!ReadJsonlTraceFile(path, &trace, &error)) {
+    std::fprintf(stderr, "trace_inspect: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (check) return RunCheck(trace);
+  if (have_txn) {
+    PrintTimeline(trace, txn);
+    return 0;
+  }
+  PrintSummary(trace);
+  return 0;
+}
