@@ -1,0 +1,89 @@
+#ifndef ECDB_CHAOS_CAMPAIGN_H_
+#define ECDB_CHAOS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/consistency_audit.h"
+#include "chaos/fault_plan.h"
+#include "common/types.h"
+
+namespace ecdb {
+
+/// Fixed shape of one chaos case; the seed is the only thing a campaign
+/// varies. Small cluster + few clients on purpose: chaos runs are about
+/// fault interleavings, not load, and a small case keeps a 500-seed
+/// campaign in CI territory.
+struct ChaosCaseConfig {
+  CommitProtocol protocol = CommitProtocol::kEasyCommit;
+  uint32_t num_nodes = 4;
+  uint32_t clients_per_node = 4;
+  uint32_t workers_per_node = 2;
+  Micros horizon_us = 600'000;
+  ChaosIntensity intensity = ChaosIntensity::kDefault;
+
+  /// Loss-hardening for the termination protocol (see
+  /// CommitEngineConfig::term_fruitless_retries). The paper's unmodified
+  /// rule (0) unilaterally aborts when every queried peer's reply was
+  /// lost, which under injected loss manufactures atomicity violations
+  /// that say nothing about the protocol logic.
+  uint32_t term_fruitless_retries = 6;
+
+  /// Event budget for each audit drain phase.
+  size_t drain_budget = 20'000'000;
+};
+
+/// Outcome of one seeded case.
+struct ChaosCaseResult {
+  uint64_t seed = 0;
+  FaultPlan plan;
+  AuditResult audit;
+  uint64_t faults_applied = 0;
+  bool ok() const { return audit.ok(); }
+};
+
+/// Runs one case: generate plan from `seed`, run the workload under it for
+/// the horizon, then run the crash-recovery audit. `trace_path` non-empty
+/// enables protocol tracing and writes a JSONL trace there (no-op build
+/// under ECDB_TRACE=OFF still writes the meta line).
+ChaosCaseResult RunChaosCase(const ChaosCaseConfig& cfg, uint64_t seed,
+                             const std::string& trace_path = "");
+
+/// Replays an explicit plan (e.g. a dumped or shrunken repro). The cluster
+/// seed, node count and horizon come from the plan, so a replay of a
+/// dumped plan reproduces the original run bit for bit.
+ChaosCaseResult ReplayFaultPlan(const ChaosCaseConfig& cfg,
+                                const FaultPlan& plan,
+                                const std::string& trace_path = "");
+
+/// Aggregates over a seed range for one protocol.
+struct CampaignSummary {
+  CommitProtocol protocol = CommitProtocol::kEasyCommit;
+  uint64_t seeds_run = 0;
+  uint64_t seeds_failed = 0;
+  uint64_t atomicity_violations = 0;
+  uint64_t durability_violations = 0;
+  uint64_t liveness_violations = 0;
+  uint64_t blocked_txns = 0;     // 2PC's expected mode, reported not failed
+  uint64_t acked_commits = 0;
+  uint64_t faults_applied = 0;
+  uint64_t non_quiescent = 0;
+  std::vector<uint64_t> failing_seeds;
+
+  bool ok() const { return seeds_failed == 0; }
+};
+
+/// Runs seeds [first_seed, first_seed + num_seeds). `on_failure` (may be
+/// null) is invoked with each failing case, e.g. to dump + shrink plans.
+CampaignSummary RunCampaign(
+    const ChaosCaseConfig& cfg, uint64_t first_seed, uint64_t num_seeds,
+    const std::function<void(const ChaosCaseResult&)>& on_failure = nullptr);
+
+/// Fixed-width per-protocol table (deterministic output; ends with '\n').
+std::string FormatCampaignTable(const std::vector<CampaignSummary>& rows);
+
+}  // namespace ecdb
+
+#endif  // ECDB_CHAOS_CAMPAIGN_H_

@@ -1,0 +1,538 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace ecdb {
+
+const char* ToString(FaultType type) {
+  switch (type) {
+    case FaultType::kCrash:
+      return "crash";
+    case FaultType::kRecover:
+      return "recover";
+    case FaultType::kLinkCut:
+      return "link_cut";
+    case FaultType::kLinkHeal:
+      return "link_heal";
+    case FaultType::kPartition:
+      return "partition";
+    case FaultType::kPartitionHeal:
+      return "partition_heal";
+    case FaultType::kLossBurst:
+      return "loss_burst";
+    case FaultType::kDelaySpike:
+      return "delay_spike";
+    case FaultType::kFaultTypeCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* ToString(ChaosIntensity intensity) {
+  switch (intensity) {
+    case ChaosIntensity::kLight:
+      return "light";
+    case ChaosIntensity::kDefault:
+      return "default";
+    case ChaosIntensity::kHeavy:
+      return "heavy";
+  }
+  return "default";
+}
+
+bool ParseIntensity(const std::string& name, ChaosIntensity* out) {
+  if (name == "light") {
+    *out = ChaosIntensity::kLight;
+  } else if (name == "default") {
+    *out = ChaosIntensity::kDefault;
+  } else if (name == "heavy") {
+    *out = ChaosIntensity::kHeavy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool FaultTypeFromString(const std::string& name, FaultType* out) {
+  for (size_t i = 0; i < static_cast<size_t>(FaultType::kFaultTypeCount);
+       ++i) {
+    const FaultType t = static_cast<FaultType>(i);
+    if (name == ToString(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Shortest decimal form that round-trips a double through strtod.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter representation when it round-trips exactly, so the
+  // JSON stays human-readable (0.05, not 0.05000000000000000277...).
+  for (int prec = 1; prec < 17; ++prec) {
+    char trial[64];
+    std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+    if (std::strtod(trial, nullptr) == v) return trial;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultPlan::ToJson() const {
+  std::ostringstream out;
+  out << "{\"seed\":" << seed << ",\"num_nodes\":" << num_nodes
+      << ",\"horizon_us\":" << horizon_us << ",\"intensity\":\""
+      << ToString(intensity) << "\",\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& ev = events[i];
+    if (i > 0) out << ",";
+    out << "\n{\"at_us\":" << ev.at_us << ",\"type\":\"" << ToString(ev.type)
+        << "\"";
+    switch (ev.type) {
+      case FaultType::kCrash:
+      case FaultType::kRecover:
+        out << ",\"a\":" << ev.a;
+        break;
+      case FaultType::kLinkCut:
+      case FaultType::kLinkHeal:
+        out << ",\"a\":" << ev.a << ",\"b\":" << ev.b;
+        break;
+      case FaultType::kDelaySpike:
+        out << ",\"a\":" << ev.a << ",\"b\":" << ev.b
+            << ",\"duration_us\":" << ev.duration_us
+            << ",\"delay_us\":" << ev.delay_us;
+        break;
+      case FaultType::kLossBurst:
+        out << ",\"duration_us\":" << ev.duration_us
+            << ",\"probability\":" << FormatDouble(ev.probability);
+        break;
+      case FaultType::kPartition:
+      case FaultType::kPartitionHeal: {
+        out << ",\"group\":[";
+        for (size_t g = 0; g < ev.group.size(); ++g) {
+          if (g > 0) out << ",";
+          out << ev.group[g];
+        }
+        out << "]";
+        break;
+      }
+      case FaultType::kFaultTypeCount:
+        break;
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+// --------------------------------------------------------------------------
+// Generator
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct DownWindow {
+  NodeId node;
+  Micros begin;
+  Micros end;
+};
+
+bool Overlaps(const DownWindow& w, Micros begin, Micros end) {
+  return w.begin < end && begin < w.end;
+}
+
+}  // namespace
+
+FaultPlan GenerateFaultPlan(uint64_t seed, uint32_t num_nodes,
+                            Micros horizon_us, ChaosIntensity intensity) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.num_nodes = num_nodes;
+  plan.horizon_us = horizon_us;
+  plan.intensity = intensity;
+
+  // Decouple the plan stream from the cluster's seed derivation (the
+  // cluster also consumes `seed`); any fixed odd multiplier works.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+
+  // All faults end before 0.8 * horizon: the tail is the drain window in
+  // which in-flight terminations settle before the audit runs.
+  const Micros window = horizon_us / 5 * 4;
+  const auto at = [&](double lo, double hi) {
+    return static_cast<Micros>(static_cast<double>(window) *
+                               (lo + rng.NextDouble() * (hi - lo)));
+  };
+  const auto dur = [&](double lo, double hi, Micros start) {
+    Micros d = static_cast<Micros>(static_cast<double>(window) *
+                                   (lo + rng.NextDouble() * (hi - lo)));
+    if (start + d >= window) d = window - start - 1;
+    return d < 1 ? 1 : d;
+  };
+
+  const bool heavy = intensity == ChaosIntensity::kHeavy;
+  const bool light = intensity == ChaosIntensity::kLight;
+
+  // Crash/recover pairs. Below kHeavy at most a minority of nodes is ever
+  // down simultaneously (the regime of the paper's liveness theorem);
+  // heavy allows up to half, rounding up.
+  const uint32_t max_down =
+      heavy ? (num_nodes + 1) / 2
+            : (num_nodes > 2 ? (num_nodes - 1) / 2 : (num_nodes > 1 ? 1 : 0));
+  uint32_t crashes = light ? 1
+                     : heavy
+                         ? 2 + static_cast<uint32_t>(rng.NextBounded(3))
+                         : 1 + static_cast<uint32_t>(rng.NextBounded(2));
+  std::vector<DownWindow> down;
+  for (uint32_t c = 0; c < crashes && max_down > 0; ++c) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const NodeId node =
+          static_cast<NodeId>(rng.NextBounded(num_nodes));
+      if (light && node == 0) continue;  // keep the "observer" node up
+      const Micros begin = at(0.05, 0.7);
+      const Micros end =
+          begin + dur(heavy ? 0.1 : 0.05, heavy ? 0.35 : 0.2, begin);
+      bool ok = true;
+      uint32_t concurrent = 1;
+      for (const DownWindow& w : down) {
+        if (!Overlaps(w, begin, end)) continue;
+        if (w.node == node) {
+          ok = false;
+          break;
+        }
+        concurrent++;
+      }
+      if (!ok || concurrent > max_down) continue;
+      down.push_back({node, begin, end});
+      FaultEvent crash;
+      crash.at_us = begin;
+      crash.type = FaultType::kCrash;
+      crash.a = node;
+      plan.events.push_back(crash);
+      FaultEvent recover;
+      recover.at_us = end;
+      recover.type = FaultType::kRecover;
+      recover.a = node;
+      plan.events.push_back(recover);
+      break;
+    }
+  }
+
+  // Link cuts (healed within the window).
+  uint32_t cuts = light ? 0
+                  : heavy ? 1 + static_cast<uint32_t>(rng.NextBounded(2))
+                          : static_cast<uint32_t>(rng.NextBounded(2));
+  for (uint32_t c = 0; c < cuts && num_nodes >= 2; ++c) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(num_nodes - 1));
+    if (b >= a) b++;
+    const Micros begin = at(0.05, 0.6);
+    const Micros end = begin + dur(0.05, heavy ? 0.3 : 0.2, begin);
+    FaultEvent cut;
+    cut.at_us = begin;
+    cut.type = FaultType::kLinkCut;
+    cut.a = a;
+    cut.b = b;
+    plan.events.push_back(cut);
+    FaultEvent heal = cut;
+    heal.at_us = end;
+    heal.type = FaultType::kLinkHeal;
+    plan.events.push_back(heal);
+  }
+
+  // Delay spikes: a<->b gets extra latency well above base for a while.
+  uint32_t spikes = light ? 1
+                    : heavy ? 2 + static_cast<uint32_t>(rng.NextBounded(3))
+                            : 1 + static_cast<uint32_t>(rng.NextBounded(3));
+  for (uint32_t s = 0; s < spikes && num_nodes >= 2; ++s) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(num_nodes - 1));
+    if (b >= a) b++;
+    FaultEvent spike;
+    spike.at_us = at(0.05, 0.7);
+    spike.type = FaultType::kDelaySpike;
+    spike.a = a;
+    spike.b = b;
+    spike.duration_us = dur(0.05, 0.2, spike.at_us);
+    spike.delay_us = 2000 + rng.NextBounded(8000);
+    plan.events.push_back(spike);
+  }
+
+  // Loss bursts: the Section-4 message-loss regime. Default keeps the
+  // rate low (<= 1%); heavy goes to double digits, where the unilateral
+  // termination rules genuinely come under fire.
+  uint32_t bursts = light ? 0
+                    : heavy ? 1 + static_cast<uint32_t>(rng.NextBounded(2))
+                            : static_cast<uint32_t>(rng.NextBounded(2));
+  for (uint32_t l = 0; l < bursts; ++l) {
+    FaultEvent burst;
+    burst.at_us = at(0.05, 0.6);
+    burst.type = FaultType::kLossBurst;
+    burst.duration_us = dur(0.05, heavy ? 0.35 : 0.15, burst.at_us);
+    burst.probability = heavy ? 0.10 + rng.NextDouble() * 0.25
+                              : 0.002 + rng.NextDouble() * 0.008;
+    plan.events.push_back(burst);
+  }
+
+  // Partitions: heavy only. A minority group is isolated, then healed.
+  if (heavy && num_nodes >= 3 && rng.NextBounded(2) == 0) {
+    const uint32_t group_size =
+        1 + static_cast<uint32_t>(rng.NextBounded(num_nodes / 2));
+    std::vector<NodeId> pool(num_nodes);
+    for (uint32_t i = 0; i < num_nodes; ++i) pool[i] = i;
+    std::vector<NodeId> group;
+    for (uint32_t g = 0; g < group_size; ++g) {
+      const size_t pick = rng.NextBounded(pool.size());
+      group.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<long>(pick));
+    }
+    std::sort(group.begin(), group.end());
+    FaultEvent part;
+    part.at_us = at(0.1, 0.5);
+    part.type = FaultType::kPartition;
+    part.group = group;
+    plan.events.push_back(part);
+    FaultEvent heal;
+    heal.at_us = part.at_us + dur(0.1, 0.3, part.at_us);
+    heal.type = FaultType::kPartitionHeal;
+    heal.group = group;
+    plan.events.push_back(heal);
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& x, const FaultEvent& y) {
+              return std::make_tuple(x.at_us, static_cast<uint8_t>(x.type),
+                                     x.a, x.b) <
+                     std::make_tuple(y.at_us, static_cast<uint8_t>(y.type),
+                                     y.a, y.b);
+            });
+  return plan;
+}
+
+// --------------------------------------------------------------------------
+// JSON parser (schema-specific, tolerant of whitespace and unknown keys —
+// same approach as trace_reader.cc)
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool Fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) p++;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return p < end && *p == c;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (p >= end || *p != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    p++;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) p++;  // schema uses no escapes; skip
+      out->push_back(*p++);
+    }
+    if (p >= end) return Fail("unterminated string");
+    p++;  // closing quote
+    return true;
+  }
+  bool ParseNumber(double* out) {
+    SkipWs();
+    char* num_end = nullptr;
+    *out = std::strtod(p, &num_end);
+    if (num_end == p) return Fail("expected number");
+    p = num_end;
+    return true;
+  }
+  // Skips any JSON value (for unknown keys).
+  bool SkipValue() {
+    SkipWs();
+    if (p >= end) return Fail("unexpected end of input");
+    if (*p == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (*p == '{' || *p == '[') {
+      const char open = *p;
+      const char close = open == '{' ? '}' : ']';
+      p++;
+      int depth = 1;
+      while (p < end && depth > 0) {
+        if (*p == '"') {
+          std::string ignored;
+          if (!ParseString(&ignored)) return false;
+          continue;
+        }
+        if (*p == open) depth++;
+        if (*p == close) depth--;
+        p++;
+      }
+      return depth == 0 || Fail("unbalanced brackets");
+    }
+    while (p < end && *p != ',' && *p != '}' && *p != ']') p++;
+    return true;
+  }
+};
+
+bool ParseNodeArray(Cursor& c, std::vector<NodeId>* out) {
+  if (!c.Consume('[')) return false;
+  out->clear();
+  if (c.Peek(']')) return c.Consume(']');
+  while (true) {
+    double v = 0;
+    if (!c.ParseNumber(&v)) return false;
+    out->push_back(static_cast<NodeId>(v));
+    if (c.Peek(']')) return c.Consume(']');
+    if (!c.Consume(',')) return false;
+  }
+}
+
+bool ParseEvent(Cursor& c, FaultEvent* ev) {
+  if (!c.Consume('{')) return false;
+  bool saw_type = false;
+  while (true) {
+    std::string key;
+    if (!c.ParseString(&key)) return false;
+    if (!c.Consume(':')) return false;
+    if (key == "type") {
+      std::string name;
+      if (!c.ParseString(&name)) return false;
+      if (!FaultTypeFromString(name, &ev->type)) {
+        return c.Fail("unknown fault type \"" + name + "\"");
+      }
+      saw_type = true;
+    } else if (key == "group") {
+      if (!ParseNodeArray(c, &ev->group)) return false;
+    } else {
+      double v = 0;
+      if (key == "at_us" || key == "a" || key == "b" ||
+          key == "duration_us" || key == "delay_us" ||
+          key == "probability") {
+        if (!c.ParseNumber(&v)) return false;
+        if (key == "at_us") ev->at_us = static_cast<Micros>(v);
+        if (key == "a") ev->a = static_cast<NodeId>(v);
+        if (key == "b") ev->b = static_cast<NodeId>(v);
+        if (key == "duration_us") ev->duration_us = static_cast<Micros>(v);
+        if (key == "delay_us") ev->delay_us = static_cast<Micros>(v);
+        if (key == "probability") ev->probability = v;
+      } else if (!c.SkipValue()) {
+        return false;
+      }
+    }
+    if (c.Peek('}')) break;
+    if (!c.Consume(',')) return false;
+  }
+  if (!c.Consume('}')) return false;
+  return saw_type || c.Fail("event without \"type\"");
+}
+
+}  // namespace
+
+bool ParseFaultPlan(const std::string& json, FaultPlan* out,
+                    std::string* error) {
+  Cursor c{json.data(), json.data() + json.size(), {}};
+  FaultPlan plan;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = c.err.empty() ? what : c.err;
+    return false;
+  };
+  if (!c.Consume('{')) return fail("not a JSON object");
+  while (true) {
+    std::string key;
+    if (!c.ParseString(&key)) return fail("bad key");
+    if (!c.Consume(':')) return fail("missing ':'");
+    if (key == "seed" || key == "num_nodes" || key == "horizon_us") {
+      double v = 0;
+      if (!c.ParseNumber(&v)) return fail("bad number for " + key);
+      if (key == "seed") plan.seed = static_cast<uint64_t>(v);
+      if (key == "num_nodes") plan.num_nodes = static_cast<uint32_t>(v);
+      if (key == "horizon_us") plan.horizon_us = static_cast<Micros>(v);
+    } else if (key == "intensity") {
+      std::string name;
+      if (!c.ParseString(&name)) return fail("bad intensity");
+      if (!ParseIntensity(name, &plan.intensity)) {
+        return fail("unknown intensity \"" + name + "\"");
+      }
+    } else if (key == "events") {
+      if (!c.Consume('[')) return fail("events is not an array");
+      if (!c.Peek(']')) {
+        while (true) {
+          FaultEvent ev;
+          if (!ParseEvent(c, &ev)) return fail("bad event");
+          plan.events.push_back(std::move(ev));
+          if (c.Peek(']')) break;
+          if (!c.Consume(',')) return fail("missing ',' in events");
+        }
+      }
+      if (!c.Consume(']')) return fail("unterminated events array");
+    } else if (!c.SkipValue()) {
+      return fail("bad value for " + key);
+    }
+    if (c.Peek('}')) break;
+    if (!c.Consume(',')) return fail("missing ',' in plan object");
+  }
+  if (!c.Consume('}')) return fail("unterminated plan object");
+  if (plan.num_nodes == 0) return fail("plan missing num_nodes");
+  if (plan.horizon_us == 0) return fail("plan missing horizon_us");
+  *out = std::move(plan);
+  return true;
+}
+
+bool WriteFaultPlanFile(const FaultPlan& plan, const std::string& path,
+                        std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << plan.ToJson();
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool ReadFaultPlanFile(const std::string& path, FaultPlan* out,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseFaultPlan(buf.str(), out, error);
+}
+
+}  // namespace ecdb

@@ -1,0 +1,58 @@
+#include "chaos/shrinker.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ecdb {
+
+ShrinkResult ShrinkFaultPlan(const ChaosCaseConfig& cfg, const FaultPlan& plan,
+                             size_t max_replays) {
+  ShrinkResult result;
+  result.plan = plan;
+
+  auto fails = [&](const std::vector<FaultEvent>& events) {
+    if (result.replays >= max_replays) return false;
+    result.replays++;
+    FaultPlan candidate = plan;
+    candidate.events = events;
+    return !ReplayFaultPlan(cfg, candidate).ok();
+  };
+
+  if (!fails(plan.events)) return result;  // not reproducible: keep as-is
+  result.reproduced = true;
+
+  // Classic ddmin over the event list. `granularity` chunks per pass; a
+  // successful complement removal restarts the pass one level coarser,
+  // an exhausted pass doubles the granularity until chunks are single
+  // events.
+  std::vector<FaultEvent> current = plan.events;
+  size_t granularity = 2;
+  while (current.size() >= 2 && result.replays < max_replays) {
+    const size_t chunk = (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0;
+         start < current.size() && result.replays < max_replays;
+         start += chunk) {
+      std::vector<FaultEvent> complement;
+      complement.reserve(current.size());
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) complement.push_back(current[i]);
+      }
+      if (complement.empty()) continue;
+      if (fails(complement)) {
+        current = std::move(complement);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // single-event chunks and nothing removable
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  result.plan.events = std::move(current);
+  return result;
+}
+
+}  // namespace ecdb

@@ -1,0 +1,39 @@
+#ifndef ECDB_CHAOS_SHRINKER_H_
+#define ECDB_CHAOS_SHRINKER_H_
+
+#include <cstddef>
+
+#include "chaos/campaign.h"
+#include "chaos/fault_plan.h"
+
+namespace ecdb {
+
+/// Outcome of shrinking a failing fault plan.
+struct ShrinkResult {
+  /// Smallest plan found that still fails the audit. If the input plan did
+  /// not fail (`reproduced == false`), this is the input plan unchanged.
+  FaultPlan plan;
+
+  /// The input plan's failure reproduced on replay at all.
+  bool reproduced = false;
+
+  /// Replays executed while shrinking (cost indicator).
+  size_t replays = 0;
+};
+
+/// Delta-debugging (ddmin) minimization over `plan.events`: repeatedly
+/// replays candidate subsets and keeps the smallest event list whose
+/// replay still fails the consistency audit. Fault events are
+/// independently removable — the audit itself recovers every node and
+/// heals every link first, so dropping a recover/heal event cannot wedge
+/// the candidate run.
+///
+/// Each replay is a full deterministic simulation of the case, so the
+/// result is stable for a given (cfg, plan). `max_replays` bounds the
+/// search; on exhaustion the best plan found so far is returned.
+ShrinkResult ShrinkFaultPlan(const ChaosCaseConfig& cfg, const FaultPlan& plan,
+                             size_t max_replays = 400);
+
+}  // namespace ecdb
+
+#endif  // ECDB_CHAOS_SHRINKER_H_

@@ -61,6 +61,12 @@ class SimCluster {
   void CrashNode(NodeId id);
   void RecoverNode(NodeId id);
 
+  /// Quiesces every node's closed loop (see SimNode::Quiesce); a
+  /// subsequent RunToQuiescence drains all in-flight work.
+  void Quiesce() {
+    for (auto& node : nodes_) node->Quiesce();
+  }
+
   /// Turns on protocol tracing on every node (inert under ECDB_TRACE=OFF).
   void EnableTracing(size_t capacity = TraceRecorder::kDefaultCapacity);
 

@@ -349,6 +349,7 @@ void SimNode::HandleRemoteRollback(const Message& msg) {
 // --------------------------------------------------------------------------
 
 void SimNode::StartNewClientTxn(uint32_t slot) {
+  if (quiesced_) return;
   ClientSlot& client = clients_[slot];
   client.request = workload_->NextTxn(id_, rng_);
   client.first_start_us = scheduler_->Now();
@@ -484,6 +485,9 @@ void SimNode::FinishCommitted(TxnId txn) {
   stats_.txns_committed++;
   stats_.latency.Record(scheduler_->Now() - client.first_start_us);
   client.in_flight = false;
+  if (track_acked_ && it->second.protocol_started) {
+    acked_commits_.push_back(txn);
+  }
   // Closed loop: the client immediately submits its next transaction.
   const uint32_t slot = it->second.slot;
   StartNewClientTxn(slot);
@@ -519,6 +523,10 @@ void SimNode::AbortAttempt(TxnId txn, bool send_rollbacks) {
 }
 
 void SimNode::ScheduleRetry(uint32_t slot) {
+  if (quiesced_) {
+    clients_[slot].in_flight = false;
+    return;
+  }
   const ClientSlot& client = clients_[slot];
   const uint32_t shift =
       std::min(client.attempts, config_.backoff_max_shift);
@@ -694,6 +702,38 @@ void SimNode::Recover() {
                                      std::move(participants), state);
         break;
       }
+    }
+  }
+
+  // Seed the fresh engine's decision ledger with every decision the WAL
+  // witnessed (including the terminal records the loop above just wrote).
+  // The pre-crash engine — and with it the in-memory ledger — died in
+  // Crash(), but peers running the termination protocol must still get an
+  // answer from this node for transactions it decided before going down;
+  // without this, two recovered nodes consulting each other about an
+  // already-decided transaction would defer forever.
+  for (const LogRecord& r : wal_.Scan()) {
+    switch (r.type) {
+      case LogRecordType::kCommitDecision:
+      case LogRecordType::kCommitReceived:
+      case LogRecordType::kTransactionCommit:
+        engine_->SeedDecision(r.txn, Decision::kCommit);
+        break;
+      case LogRecordType::kAbortDecision:
+      case LogRecordType::kAbortReceived:
+      case LogRecordType::kTransactionAbort:
+        engine_->SeedDecision(r.txn, Decision::kAbort);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // The node is back in service: clients reconnect and resume the closed
+  // loop (their pre-crash transactions died with the volatile state).
+  if (!quiesced_) {
+    for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+      if (!clients_[slot].in_flight) StartNewClientTxn(slot);
     }
   }
 }

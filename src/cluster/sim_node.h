@@ -79,6 +79,23 @@ class SimNode : public CommitEnv {
 
   bool crashed() const { return crashed_; }
 
+  /// Stops the closed loop: no new client transactions are issued and
+  /// aborted attempts are no longer retried, so in-flight work drains and
+  /// the scheduler reaches quiescence. Sticky across crash/recover (the
+  /// consistency audit quiesces, then restarts every node). Irreversible
+  /// for the node's lifetime.
+  void Quiesce() { quiesced_ = true; }
+  bool quiesced() const { return quiesced_; }
+
+  /// When enabled, records the TxnId of every transaction whose commit ran
+  /// the commit protocol and was acked back to a client — the durability
+  /// set of the consistency audit. (Single-partition and read-only commits
+  /// skip the protocol and write no log records; decision-level durability
+  /// is undefined for them, so they are excluded.) Survives Crash(): an
+  /// ack the client saw cannot be un-sent by the server crashing.
+  void TrackAckedCommits(bool on) { track_acked_ = on; }
+  const std::vector<TxnId>& acked_commits() const { return acked_commits_; }
+
   /// Overrides participant votes (fault-injection tests force aborts).
   using VoteOverride = std::function<Decision(TxnId)>;
   void set_vote_override(VoteOverride fn) { vote_override_ = std::move(fn); }
@@ -246,6 +263,9 @@ class SimNode : public CommitEnv {
 
   bool crashed_ = false;
   uint64_t epoch_ = 0;  // bumped on crash; stale continuations are dropped
+  bool quiesced_ = false;
+  bool track_acked_ = false;
+  std::vector<TxnId> acked_commits_;
 
   NodeStats stats_;
   uint64_t total_busy_us_ = 0;

@@ -112,6 +112,26 @@ void ThreadNode::Loop() {
             break;
         }
       }
+      // Seed the fresh engine's decision ledger from the WAL so peers'
+      // termination queries about pre-crash decisions still get answers
+      // (mirrors SimNode::Recover; the pre-crash ledger died with the
+      // engine above).
+      for (const LogRecord& r : wal_->Scan()) {
+        switch (r.type) {
+          case LogRecordType::kCommitDecision:
+          case LogRecordType::kCommitReceived:
+          case LogRecordType::kTransactionCommit:
+            engine_->SeedDecision(r.txn, Decision::kCommit);
+            break;
+          case LogRecordType::kAbortDecision:
+          case LogRecordType::kAbortReceived:
+          case LogRecordType::kTransactionAbort:
+            engine_->SeedDecision(r.txn, Decision::kAbort);
+            break;
+          default:
+            break;
+        }
+      }
       for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
         StartNewClientTxn(slot);
       }

@@ -88,6 +88,18 @@ void CommitEngine::StartCommit(TxnId txn, std::vector<NodeId> participants,
     env_->Log(txn, LogRecordType::kBeginCommit);
   }
 
+  // A termination leader may have decided this transaction already (its
+  // cohort timed out while our execution replies were delayed) — the
+  // forwarded decision landed in the ledger. Honor it instead of running
+  // the vote; re-deciding could contradict what cohorts already applied.
+  if (!decision_ledger_.empty()) {  // empty-check keeps the default path cold
+    const auto prior = decision_ledger_.find(txn);
+    if (prior != decision_ledger_.end()) {
+      CoordinatorDecide(txn, rec, prior->second);
+      return;
+    }
+  }
+
   const std::vector<NodeId> cohorts = Cohorts(rec);
   if (own_vote == Decision::kAbort || cohorts.empty()) {
     CoordinatorDecide(txn, rec, own_vote);
@@ -200,6 +212,24 @@ void CommitEngine::ExpectPrepare(TxnId txn, NodeId coordinator,
 }
 
 void CommitEngine::OnPrepare(const Message& msg) {
+  if (!decision_ledger_.empty() && Find(msg.txn) == nullptr) {
+    // Prepare for a transaction we already decided and cleaned up — e.g.
+    // the unilateral no-Prepare timeout abort racing a delayed Prepare.
+    // Creating a fresh record would re-run the vote and can contradict
+    // the applied decision (abort applied, then READY + vote-commit on
+    // the resurrected record). Answer from the ledger instead.
+    const auto it = decision_ledger_.find(msg.txn);
+    if (it != decision_ledger_.end()) {
+      Message reply;
+      reply.type = it->second == Decision::kCommit ? MsgType::kVoteCommit
+                                                   : MsgType::kVoteAbort;
+      reply.src = env_->self();
+      reply.dst = msg.src;
+      reply.txn = msg.txn;
+      env_->Send(std::move(reply));
+      return;
+    }
+  }
   TxnRecord& rec = records_[msg.txn];
   if (rec.decided) return;
   rec.coordinator = msg.src;
@@ -515,6 +545,29 @@ void CommitEngine::OnTermElect(const Message& msg) {
         reply.txn = msg.txn;
         reply.forwarded = true;
         env_->Send(std::move(reply));
+      } else if (config_.keep_decision_ledger && !IsTwoPhaseFamily()) {
+        // Ledger regime: every decision this node ever reached is in the
+        // ledger (ApplyAndLog records it; recovery reseeds it from the
+        // WAL), and a node that durably voted READY has a WAL record that
+        // recovery resurrects. No record and no ledger entry therefore
+        // means this node never voted and never decided — it simply has
+        // not (yet) heard of the transaction. Say so instead of staying
+        // silent, so elections can reach complete information: INITIAL is
+        // exactly "I have not voted". Deliberately NOT an abort reply —
+        // answering abort without remembering it would let this node
+        // (e.g. a coordinator still executing the transaction) decide
+        // commit moments later. Gated to the non-blocking protocols: for
+        // the plain 2PC family an INITIAL reply would let cooperative
+        // termination abort where the paper's 2PC blocks, erasing the
+        // blocking behaviour this repo exists to contrast.
+        Message reply;
+        reply.type = MsgType::kTermStateReply;
+        reply.src = env_->self();
+        reply.dst = msg.src;
+        reply.txn = msg.txn;
+        reply.term_state = CohortState::kInitial;
+        reply.has_decision = false;
+        env_->Send(std::move(reply));
       }
       return;
     }
@@ -569,6 +622,13 @@ void CommitEngine::TerminationEvaluate(TxnId txn, TxnRecord& rec) {
 
   NodeId leader = env_->self();
   for (const auto& [node, reply] : rec.term_replies) {
+    // An INITIAL reply means "I never entered the protocol for this
+    // transaction" (the ledger-regime answer for an unknown txn): that
+    // node has no record, no timer, and will never run an election, so
+    // it cannot be deferred to.
+    if (reply.term_state == CohortState::kInitial && !reply.has_decision) {
+      continue;
+    }
     leader = std::min(leader, node);
   }
   if (leader != env_->self()) {
@@ -585,14 +645,30 @@ void CommitEngine::TerminationEvaluate(TxnId txn, TxnRecord& rec) {
 }
 
 void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
-  if (rec.recovered) {
+  // "Complete information": every queried peer (participants + coordinator)
+  // replied this round. Any durably applied decision is logged before it is
+  // applied, and a restarted node reseeds its decision ledger from the WAL,
+  // so a replier that reached a decision always reports it — a full set of
+  // decision-free replies proves no decision exists anywhere.
+  std::unordered_set<NodeId> queried;
+  for (NodeId p : rec.participants) {
+    if (p != env_->self()) queried.insert(p);
+  }
+  if (rec.coordinator != kInvalidNode && rec.coordinator != env_->self()) {
+    queried.insert(rec.coordinator);
+  }
+  const bool complete_info = rec.term_replies.size() >= queried.size();
+
+  if (rec.recovered && !complete_info) {
     // Section 4.2: a node recovering in the READY/PRE-COMMIT case cannot
     // terminate the transaction on its own — the decision may have been
     // reached and applied while it was down. The unilateral rules below
     // are sound only for nodes that were operational throughout the
     // failure (they would have received any decision per the transmit-
     // before-commit discipline). Keep consulting until a peer (or its
-    // decision ledger) answers.
+    // decision ledger) answers — or until every peer has answered with
+    // complete information, which happens when the whole cluster restarts
+    // (all records recovered) and would otherwise defer forever.
     Trace(TraceEventType::kTermRoundOutcome, txn, 0, kInvalidNode,
           static_cast<uint8_t>(TermOutcome::kDeferred));
     rec.in_termination = false;
@@ -616,6 +692,31 @@ void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
     rec.in_termination = false;
     env_->ArmTimer(txn, config_.timeout_us);
     return;
+  }
+
+  // Optional loss hardening (term_fruitless_retries > 0): the EC and 3PC
+  // rules below decide unilaterally from "no reply I received carries a
+  // decision". That inference needs every *silent* peer to be crashed —
+  // true under fail-stop, not under message loss, where a silent peer may
+  // have applied the opposite decision. If any queried peer has not
+  // replied, re-run the election instead, up to the configured budget.
+  // (StartTermination already counted the current round in term_attempts.)
+  if (config_.term_fruitless_retries > 0 && !IsTwoPhaseFamily() &&
+      !complete_info) {
+    // Zero replies means we are isolated (partitioned or sole survivor):
+    // deciding on no information at all can always contradict a decision
+    // applied on the other side of the cut, so keep deferring — progress
+    // resumes when connectivity does. Partial information consumes the
+    // bounded retry budget before falling back to the paper's rule.
+    const bool total_silence = rec.term_replies.empty() && !queried.empty();
+    if (total_silence ||
+        rec.term_attempts <= config_.term_fruitless_retries) {
+      Trace(TraceEventType::kTermRoundOutcome, txn, 0, kInvalidNode,
+            static_cast<uint8_t>(TermOutcome::kDeferred));
+      rec.in_termination = false;
+      env_->ArmTimer(txn, config_.timeout_us);
+      return;
+    }
   }
 
   const auto any_in = [&](CohortState s) {
@@ -701,7 +802,22 @@ void CommitEngine::OnMessage(const Message& msg) {
   }
 
   TxnRecord* rec = Find(msg.txn);
-  if (rec == nullptr) return;  // cleaned up or never known; ignore
+  if (rec == nullptr) {
+    // Cleaned up or never known. In the ledger regime a decision that
+    // reaches us for an unknown transaction must still bind us: a
+    // termination leader may abort a transaction before its coordinator
+    // even reaches StartCommit (the cohort's timer raced a delayed
+    // execution reply), and the coordinator must not later start the
+    // protocol fresh and decide commit. StartCommit and OnPrepare consult
+    // the ledger first.
+    if (config_.keep_decision_ledger && (msg.type == MsgType::kGlobalCommit ||
+                                         msg.type == MsgType::kGlobalAbort)) {
+      decision_ledger_.emplace(msg.txn, msg.type == MsgType::kGlobalCommit
+                                            ? Decision::kCommit
+                                            : Decision::kAbort);
+    }
+    return;
+  }
 
   switch (msg.type) {
     case MsgType::kVoteCommit:
@@ -750,6 +866,14 @@ std::vector<TxnId> CommitEngine::BlockedTxns() const {
     if (rec.blocked) blocked.push_back(txn);
   }
   return blocked;
+}
+
+std::vector<std::pair<TxnId, bool>> CommitEngine::UnresolvedTxns() const {
+  std::vector<std::pair<TxnId, bool>> out;
+  for (const auto& [txn, rec] : records_) {
+    if (!rec.decided) out.emplace_back(txn, rec.blocked);
+  }
+  return out;
 }
 
 }  // namespace ecdb

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include <algorithm>
@@ -70,6 +71,20 @@ struct CommitEngineConfig {
   /// nodes that timed out after this node cleaned up) can still be
   /// answered. Enabled by fault-injection tests; off for benchmarks.
   bool keep_decision_ledger = false;
+
+  /// Opt-in (0 = the paper's rule, proven for fail-stop): an EC/3PC
+  /// termination leader that is missing state replies from one or more
+  /// queried peers re-runs the election up to this many rounds before
+  /// falling back to the unilateral decision rules. Under message loss —
+  /// the regime where Section 4 shows *no* commit protocol is safe — a
+  /// silent peer may have applied a decision the leader never saw, and
+  /// "nobody I heard from knows it" no longer justifies the irreversible
+  /// unilateral abort. Retrying shrinks that window from one lossy round
+  /// to N consecutive lossy rounds. Chaos campaigns and the loss-soak
+  /// tests enable it; benchmarks and the fail-stop sweeps keep 0. Has no
+  /// effect on the 2PC family, whose fallback already blocks instead of
+  /// guessing.
+  uint32_t term_fruitless_retries = 0;
 };
 
 /// Per-transaction, per-node view of the commit protocol, exposed for
@@ -147,6 +162,20 @@ class CommitEngine {
 
   /// Transactions currently marked blocked (2PC only).
   std::vector<TxnId> BlockedTxns() const;
+
+  /// Transactions still tracked without an applied decision, paired with
+  /// their blocked flag. After a run has drained, a non-blocked entry here
+  /// is a liveness violation (the consistency audit's check c); blocked
+  /// entries are 2PC cohorts that gave up, reported separately.
+  std::vector<std::pair<TxnId, bool>> UnresolvedTxns() const;
+
+  /// Seeds the decision ledger directly. Recovery calls this for every
+  /// decision found in the WAL: the pre-crash engine (and its ledger) is
+  /// gone, but peers running the termination protocol must still get an
+  /// answer from this node for transactions it decided before crashing.
+  void SeedDecision(TxnId txn, Decision decision) {
+    decision_ledger_[txn] = decision;
+  }
 
   /// Number of transactions still tracked (not yet cleaned up).
   size_t ActiveCount() const { return records_.size(); }

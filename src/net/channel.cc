@@ -1,8 +1,25 @@
 #include "net/channel.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ecdb {
+namespace {
+
+// SplitMix64: cheap, well-mixed hash for thread-safe loss sampling (a
+// shared Rng would need a lock on the Send path).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 void MessageChannel::Push(Message msg) {
   bool was_empty;
@@ -72,10 +89,16 @@ ThreadNetwork::ThreadNetwork(size_t num_nodes)
   for (auto& c : crashed_) c.store(false, std::memory_order_relaxed);
 }
 
+ThreadNetwork::~ThreadNetwork() { Shutdown(); }
+
 void ThreadNetwork::Send(Message msg) {
   if (msg.dst >= channels_.size()) return;
   if (crashed_[msg.src].load(std::memory_order_relaxed)) {
     from_crashed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (faults_armed_.load(std::memory_order_acquire)) {
+    FaultSend(std::move(msg));
     return;
   }
   if (crashed_[msg.dst].load(std::memory_order_relaxed)) {
@@ -83,6 +106,171 @@ void ThreadNetwork::Send(Message msg) {
     return;
   }
   channels_[msg.dst]->Push(std::move(msg));
+}
+
+void ThreadNetwork::FaultSend(Message msg) {
+  // Counter order mirrors SimNetwork: a message the loss model or a cut
+  // link eats *was* sent (counts in sent and dropped); one that hits a
+  // crashed destination counts in sent and to_crashed.
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(msg.ApproximateBytes(), std::memory_order_relaxed);
+  per_type_[static_cast<size_t>(msg.type)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  bool down;
+  double loss;
+  Micros delay;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    const uint64_t uk = UndirectedKey(msg.src, msg.dst);
+    down = links_down_.count(uk) != 0;
+    loss = loss_probability_;
+    auto ll = link_loss_.find(uk);
+    if (ll != link_loss_.end()) loss = std::max(loss, ll->second);
+    auto ed = extra_delay_.find(DirectedKey(msg.src, msg.dst));
+    delay = ed != extra_delay_.end() ? ed->second : 0;
+  }
+  if (down) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (loss > 0.0) {
+    const uint64_t n = fault_counter_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t seed = fault_seed_.load(std::memory_order_relaxed);
+    if (HashToUnit(SplitMix64(seed ^ n)) < loss) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  if (delay > 0) {
+    {
+      std::lock_guard<std::mutex> lock(delay_mu_);
+      if (!delay_stop_) {
+        delayed_.push_back(
+            {std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(delay),
+             std::move(msg)});
+      }
+    }
+    delay_cv_.notify_one();
+    return;
+  }
+  Deliver(std::move(msg));
+}
+
+void ThreadNetwork::Deliver(Message msg) {
+  if (crashed_[msg.dst].load(std::memory_order_relaxed)) {
+    to_crashed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  channels_[msg.dst]->Push(std::move(msg));
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadNetwork::DelayPump() {
+  std::unique_lock<std::mutex> lock(delay_mu_);
+  while (!delay_stop_) {
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock);
+      continue;
+    }
+    auto min_it = std::min_element(
+        delayed_.begin(), delayed_.end(),
+        [](const DelayedMessage& a, const DelayedMessage& b) {
+          return a.due < b.due;
+        });
+    if (min_it->due > std::chrono::steady_clock::now()) {
+      delay_cv_.wait_until(lock, min_it->due);
+      continue;  // re-scan: the set may have changed while waiting
+    }
+    Message msg = std::move(min_it->msg);
+    *min_it = std::move(delayed_.back());
+    delayed_.pop_back();
+    lock.unlock();
+    Deliver(std::move(msg));
+    lock.lock();
+  }
+}
+
+void ThreadNetwork::EnsurePumpLocked() {
+  if (!delay_thread_.joinable()) {
+    delay_thread_ = std::thread([this] { DelayPump(); });
+  }
+}
+
+void ThreadNetwork::SetLinkDown(NodeId a, NodeId b, bool down) {
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (down) {
+      links_down_.insert(UndirectedKey(a, b));
+    } else {
+      links_down_.erase(UndirectedKey(a, b));
+    }
+  }
+  Arm();
+}
+
+void ThreadNetwork::SetLossProbability(double p) {
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    loss_probability_ = p;
+  }
+  Arm();
+}
+
+void ThreadNetwork::SetLinkLoss(NodeId a, NodeId b, double p) {
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (p > 0.0) {
+      link_loss_[UndirectedKey(a, b)] = p;
+    } else {
+      link_loss_.erase(UndirectedKey(a, b));
+    }
+  }
+  Arm();
+}
+
+void ThreadNetwork::SetExtraDelay(NodeId a, NodeId b, Micros extra_us) {
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (extra_us > 0) {
+      extra_delay_[DirectedKey(a, b)] = extra_us;
+    } else {
+      extra_delay_.erase(DirectedKey(a, b));
+    }
+  }
+  if (extra_us > 0) {
+    std::lock_guard<std::mutex> lock(delay_mu_);
+    if (!delay_stop_) EnsurePumpLocked();
+  }
+  Arm();
+}
+
+void ThreadNetwork::SetFaultSeed(uint64_t seed) {
+  fault_seed_.store(seed, std::memory_order_relaxed);
+}
+
+void ThreadNetwork::ClearFaults() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  loss_probability_ = 0.0;
+  links_down_.clear();
+  link_loss_.clear();
+  extra_delay_.clear();
+}
+
+NetworkStats ThreadNetwork::stats() const {
+  NetworkStats s;
+  s.messages_sent = sent_.load(std::memory_order_relaxed);
+  s.messages_delivered = delivered_.load(std::memory_order_relaxed);
+  s.messages_dropped = dropped_.load(std::memory_order_relaxed);
+  s.messages_to_crashed = to_crashed_.load(std::memory_order_relaxed);
+  s.messages_from_crashed = from_crashed_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < per_type_.size(); ++i) {
+    s.per_type[static_cast<MsgType>(i)] =
+        per_type_[i].load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 void ThreadNetwork::CrashNode(NodeId node) {
@@ -98,6 +286,13 @@ bool ThreadNetwork::IsCrashed(NodeId node) const {
 }
 
 void ThreadNetwork::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(delay_mu_);
+    delay_stop_ = true;
+    delayed_.clear();  // pending delayed messages die with the network
+  }
+  delay_cv_.notify_all();
+  if (delay_thread_.joinable()) delay_thread_.join();
   for (auto& ch : channels_) ch->Close();
 }
 

@@ -1,15 +1,20 @@
 #ifndef ECDB_NET_CHANNEL_H_
 #define ECDB_NET_CHANNEL_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
 #include "net/message.h"
+#include "net/network.h"
 
 namespace ecdb {
 
@@ -65,6 +70,10 @@ class MessageChannel {
 class ThreadNetwork {
  public:
   explicit ThreadNetwork(size_t num_nodes);
+  ~ThreadNetwork();
+
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
 
   /// Routes `msg` to the mailbox of `msg.dst`. Messages involving crashed
   /// nodes are dropped (fail-stop) and counted in `messages_from_crashed`
@@ -87,16 +96,94 @@ class ThreadNetwork {
     return to_crashed_.load(std::memory_order_relaxed);
   }
 
+  // --- Fault injection (the SimNetwork subset chaos campaigns use) ---
+  //
+  // All setters are thread-safe and may race with Send. The first setter
+  // call arms the fault path *and* the NetworkStats counters; until then
+  // Send keeps its original two-load fast path and `stats()` reads zero.
+  // Loss sampling hashes a per-network seed with a send counter, so a
+  // fixed seed gives a reproducible drop *rate* (not a reproducible drop
+  // *set* — thread interleaving orders the counter).
+
+  /// Cuts or restores the bidirectional link between `a` and `b`.
+  void SetLinkDown(NodeId a, NodeId b, bool down);
+
+  /// Probability that any message is dropped (chaos loss bursts).
+  void SetLossProbability(double p);
+
+  /// Per-link (undirected) loss probability; the effective rate for a
+  /// message is max(global, link).
+  void SetLinkLoss(NodeId a, NodeId b, double p);
+
+  /// Adds a fixed extra delay to every message on the (a -> b) direction.
+  /// Delayed messages are delivered by a background pump thread; 0 clears.
+  void SetExtraDelay(NodeId a, NodeId b, Micros extra_us);
+
+  /// Seed for loss sampling (call before arming faults).
+  void SetFaultSeed(uint64_t seed);
+
+  /// Restores a fault-free network: loss 0, all links up, no extra delay.
+  /// Counters stay armed so end-of-run audits can still read them.
+  void ClearFaults();
+
+  /// Snapshot of the SimNetwork-style counters. Counting starts when the
+  /// fault path is first armed; crashed-node drops are always counted.
+  NetworkStats stats() const;
+
   /// Closes every mailbox; node threads drain and exit.
   void Shutdown();
 
   size_t num_nodes() const { return channels_.size(); }
 
  private:
+  struct DelayedMessage {
+    std::chrono::steady_clock::time_point due;
+    Message msg;
+  };
+
+  static uint64_t UndirectedKey(NodeId a, NodeId b) {
+    NodeId lo = a < b ? a : b;
+    NodeId hi = a < b ? b : a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+  static uint64_t DirectedKey(NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  void Arm() { faults_armed_.store(true, std::memory_order_release); }
+  void FaultSend(Message msg);  // slow path, taken only once armed
+  void Deliver(Message msg);    // final hop: crashed-dst check + Push
+  void DelayPump();
+  void EnsurePumpLocked();  // requires delay_mu_
+
   std::vector<std::unique_ptr<MessageChannel>> channels_;
   std::vector<std::atomic<bool>> crashed_;
   std::atomic<uint64_t> from_crashed_{0};
   std::atomic<uint64_t> to_crashed_{0};
+
+  // Fault state (guarded by fault_mu_; armed flag checked lock-free).
+  std::atomic<bool> faults_armed_{false};
+  mutable std::mutex fault_mu_;
+  double loss_probability_ = 0.0;
+  std::unordered_set<uint64_t> links_down_;          // undirected
+  std::unordered_map<uint64_t, double> link_loss_;   // undirected
+  std::unordered_map<uint64_t, Micros> extra_delay_;  // directed
+  std::atomic<uint64_t> fault_seed_{0x6563646273656564ULL};  // "ecdbseed"
+  std::atomic<uint64_t> fault_counter_{0};
+
+  // Delayed-delivery pump (lazily spawned on first SetExtraDelay).
+  std::thread delay_thread_;
+  std::mutex delay_mu_;
+  std::condition_variable delay_cv_;
+  std::vector<DelayedMessage> delayed_;
+  bool delay_stop_ = false;
+
+  // SimNetwork-style counters (armed fault path only).
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::array<std::atomic<uint64_t>, MsgTypeCounts::kNumTypes> per_type_{};
 };
 
 }  // namespace ecdb

@@ -34,6 +34,8 @@ std::string ToString(MsgType type) {
       return "RemoteExecFail";
     case MsgType::kRemoteRollback:
       return "RemoteRollback";
+    case MsgType::kMsgTypeCount:
+      break;  // sentinel, not a wire type
   }
   return "Unknown";
 }

@@ -36,6 +36,11 @@ enum class MsgType : uint8_t {
   kRemoteExecOk,    // remote partition -> coordinator: fragment succeeded
   kRemoteExecFail,  // remote partition -> coordinator: conflict, must abort
   kRemoteRollback,  // coordinator -> remote partition: undo fragment
+
+  /// Sentinel: number of wire message types. Keep last. Sizing per-type
+  /// counter arrays off this (never off the last named enumerator) means a
+  /// new message type can't silently alias another type's counter slot.
+  kMsgTypeCount,
 };
 
 /// Returns a short name like "Prepare" or "GlobalCommit".

@@ -41,7 +41,10 @@ struct NetworkConfig {
 class MsgTypeCounts {
  public:
   static constexpr size_t kNumTypes =
-      static_cast<size_t>(MsgType::kRemoteRollback) + 1;
+      static_cast<size_t>(MsgType::kMsgTypeCount);
+  static_assert(kNumTypes == static_cast<size_t>(MsgType::kRemoteRollback) + 1,
+                "MsgType enumerators must stay contiguous with the "
+                "kMsgTypeCount sentinel last");
 
   uint64_t& operator[](MsgType t) { return counts_[Index(t)]; }
   uint64_t at(MsgType t) const { return counts_[Index(t)]; }
@@ -126,6 +129,10 @@ class SimNetwork {
   /// fails after transmitting to X but before Y and Z").
   using SendFilter = std::function<bool(const Message&)>;
   void SetSendFilter(SendFilter filter);
+
+  /// Changes the Bernoulli loss rate mid-run (chaos loss bursts). Only
+  /// affects messages sent after the call; in-flight deliveries stand.
+  void SetDropProbability(double p) { config_.drop_probability = p; }
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats(); }

@@ -1,0 +1,342 @@
+// Tests for the chaos campaign engine: fault-plan generation and JSON
+// round-trips, deterministic replay, the end-to-end crash-recovery audit
+// over small campaigns, the ddmin shrinker on a pinned failing case, and
+// the ThreadNetwork fault-injection hooks (named ThreadNetworkChaos* so
+// the TSan CI job picks them up).
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+#include "chaos/chaos_driver.h"
+#include "chaos/fault_plan.h"
+#include "chaos/shrinker.h"
+#include "net/channel.h"
+#include "cluster/thread_node.h"
+#include "workload/ycsb.h"
+
+namespace ecdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+TEST(ChaosPlanTest, JsonRoundTripIsByteIdentical) {
+  for (const ChaosIntensity intensity :
+       {ChaosIntensity::kLight, ChaosIntensity::kDefault,
+        ChaosIntensity::kHeavy}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      const FaultPlan plan = GenerateFaultPlan(seed, 4, 600'000, intensity);
+      const std::string json = plan.ToJson();
+      FaultPlan parsed;
+      std::string error;
+      ASSERT_TRUE(ParseFaultPlan(json, &parsed, &error)) << error;
+      EXPECT_EQ(parsed, plan);
+      // Canonical form: reserializing the parse is byte-identical.
+      EXPECT_EQ(parsed.ToJson(), json);
+    }
+  }
+}
+
+TEST(ChaosPlanTest, ParseRejectsMalformedInput) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(ParseFaultPlan("", &plan, &error));
+  EXPECT_FALSE(ParseFaultPlan("{", &plan, &error));
+  EXPECT_FALSE(ParseFaultPlan("{\"seed\":1}", &plan, &error));
+  EXPECT_FALSE(ParseFaultPlan(
+      "{\"seed\":1,\"num_nodes\":4,\"horizon_us\":1000,"
+      "\"intensity\":\"default\",\"events\":[{\"at_us\":1,\"type\":"
+      "\"no_such_fault\"}]}",
+      &plan, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ChaosPlanTest, FileRoundTrip) {
+  const FaultPlan plan =
+      GenerateFaultPlan(7, 4, 600'000, ChaosIntensity::kHeavy);
+  const std::string path = ::testing::TempDir() + "/chaos_plan.json";
+  std::string error;
+  ASSERT_TRUE(WriteFaultPlanFile(plan, path, &error)) << error;
+  FaultPlan read;
+  ASSERT_TRUE(ReadFaultPlanFile(path, &read, &error)) << error;
+  EXPECT_EQ(read, plan);
+}
+
+TEST(ChaosPlanTest, GeneratedPlansAreWellFormed) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    const FaultPlan plan =
+        GenerateFaultPlan(seed, 4, 600'000, ChaosIntensity::kDefault);
+    EXPECT_EQ(plan.seed, seed);
+    EXPECT_EQ(plan.num_nodes, 4u);
+    Micros prev = 0;
+    std::multiset<NodeId> down;
+    for (const FaultEvent& ev : plan.events) {
+      EXPECT_GE(ev.at_us, prev) << "events must be sorted";
+      prev = ev.at_us;
+      // Faults end well before the horizon so the in-run drain can win.
+      EXPECT_LT(ev.at_us, plan.horizon_us * 8 / 10);
+      if (ev.type == FaultType::kCrash) {
+        EXPECT_LT(ev.a, plan.num_nodes);
+        down.insert(ev.a);
+        // Below heavy, a majority of nodes stays up at all times.
+        EXPECT_LE(down.size(), (plan.num_nodes - 1) / 2);
+      } else if (ev.type == FaultType::kRecover) {
+        ASSERT_TRUE(down.count(ev.a)) << "recover without crash";
+        down.erase(down.find(ev.a));
+      }
+    }
+    EXPECT_TRUE(down.empty()) << "every crash needs a matching recover";
+  }
+}
+
+TEST(ChaosPlanTest, GenerationIsDeterministic) {
+  const FaultPlan a = GenerateFaultPlan(11, 4, 600'000, ChaosIntensity::kHeavy);
+  const FaultPlan b = GenerateFaultPlan(11, 4, 600'000, ChaosIntensity::kHeavy);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns + audit (simulator)
+// ---------------------------------------------------------------------------
+
+ChaosCaseConfig SmallCaseConfig(CommitProtocol protocol) {
+  ChaosCaseConfig cfg;
+  cfg.protocol = protocol;
+  return cfg;
+}
+
+TEST(ChaosCampaignTest, IdenticalSeedGivesIdenticalOutcome) {
+  const ChaosCaseConfig cfg = SmallCaseConfig(CommitProtocol::kEasyCommit);
+  const ChaosCaseResult a = RunChaosCase(cfg, 17);
+  const ChaosCaseResult b = RunChaosCase(cfg, 17);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.plan.ToJson(), b.plan.ToJson());
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_EQ(a.audit.acked_commits, b.audit.acked_commits);
+  EXPECT_EQ(a.audit.blocked_txns, b.audit.blocked_txns);
+  ASSERT_EQ(a.audit.violations.size(), b.audit.violations.size());
+  for (size_t i = 0; i < a.audit.violations.size(); ++i) {
+    EXPECT_EQ(a.audit.violations[i].check, b.audit.violations[i].check);
+    EXPECT_EQ(a.audit.violations[i].txn, b.audit.violations[i].txn);
+    EXPECT_EQ(a.audit.violations[i].detail, b.audit.violations[i].detail);
+  }
+}
+
+TEST(ChaosCampaignTest, ReplayOfGeneratedPlanMatchesCase) {
+  const ChaosCaseConfig cfg = SmallCaseConfig(CommitProtocol::kEasyCommit);
+  const ChaosCaseResult direct = RunChaosCase(cfg, 23);
+  const ChaosCaseResult replay = ReplayFaultPlan(cfg, direct.plan);
+  EXPECT_EQ(replay.audit.acked_commits, direct.audit.acked_commits);
+  EXPECT_EQ(replay.audit.violations.size(), direct.audit.violations.size());
+  EXPECT_EQ(replay.faults_applied, direct.faults_applied);
+}
+
+TEST(ChaosCampaignTest, EasyCommitSurvivesDefaultChaos) {
+  const CampaignSummary summary = RunCampaign(
+      SmallCaseConfig(CommitProtocol::kEasyCommit), /*first_seed=*/1,
+      /*num_seeds=*/10);
+  EXPECT_TRUE(summary.ok()) << summary.seeds_failed << " seeds failed";
+  EXPECT_EQ(summary.atomicity_violations, 0u);
+  EXPECT_EQ(summary.durability_violations, 0u);
+  EXPECT_EQ(summary.liveness_violations, 0u);
+  EXPECT_GT(summary.acked_commits, 0u);
+  EXPECT_GT(summary.faults_applied, 0u);
+}
+
+TEST(ChaosCampaignTest, ThreePhaseSurvivesDefaultChaos) {
+  const CampaignSummary summary = RunCampaign(
+      SmallCaseConfig(CommitProtocol::kThreePhase), /*first_seed=*/1,
+      /*num_seeds=*/6);
+  EXPECT_TRUE(summary.ok()) << summary.seeds_failed << " seeds failed";
+  EXPECT_EQ(summary.atomicity_violations, 0u);
+  EXPECT_EQ(summary.durability_violations, 0u);
+}
+
+TEST(ChaosCampaignTest, TwoPhaseBlocksButStaysSafe) {
+  // 2PC under chaos blocks (the failure mode the paper removes); blocking
+  // is reported in the summary, not counted as an audit violation.
+  const CampaignSummary summary = RunCampaign(
+      SmallCaseConfig(CommitProtocol::kTwoPhase), /*first_seed=*/1,
+      /*num_seeds=*/20);
+  EXPECT_TRUE(summary.ok()) << summary.seeds_failed << " seeds failed";
+  EXPECT_EQ(summary.atomicity_violations, 0u);
+  EXPECT_EQ(summary.durability_violations, 0u);
+  EXPECT_GT(summary.blocked_txns, 0u)
+      << "this seed range is known to block 2PC cohorts";
+}
+
+TEST(ChaosCampaignTest, CampaignTableIsDeterministic) {
+  const ChaosCaseConfig cfg = SmallCaseConfig(CommitProtocol::kEasyCommit);
+  const CampaignSummary a = RunCampaign(cfg, 1, 3);
+  const CampaignSummary b = RunCampaign(cfg, 1, 3);
+  EXPECT_EQ(FormatCampaignTable({a}), FormatCampaignTable({b}));
+}
+
+// ---------------------------------------------------------------------------
+// The negative case: EC without decision forwarding fails the audit, and
+// the shrinker produces a smaller plan that still reproduces it.
+// ---------------------------------------------------------------------------
+
+// Pinned by running heavy-intensity campaigns against the no-forwarding
+// ablation under the paper's *unmodified* termination rule (retries=0 —
+// with the loss-hardened rule the decision ledger acts as pull-based
+// forwarding and masks the ablation; see docs/ROBUSTNESS.md). Keep in
+// sync with the engine: if a protocol change legitimately fixes this
+// seed, re-hunt with
+//   chaos_run --protocols ec-noforward --intensity heavy --retries 0
+constexpr uint64_t kNoForwardFailingSeed = 4;
+
+ChaosCaseConfig NoForwardConfig() {
+  ChaosCaseConfig cfg;
+  cfg.protocol = CommitProtocol::kEasyCommitNoForward;
+  cfg.intensity = ChaosIntensity::kHeavy;
+  cfg.term_fruitless_retries = 0;
+  return cfg;
+}
+
+TEST(ChaosShrinkTest, NoForwardAblationFailsAuditAndShrinks) {
+  const ChaosCaseConfig cfg = NoForwardConfig();
+  const ChaosCaseResult result = RunChaosCase(cfg, kNoForwardFailingSeed);
+  ASSERT_FALSE(result.ok())
+      << "pinned ec-noforward seed no longer fails; re-hunt (see comment)";
+
+  const ShrinkResult shrunk = ShrinkFaultPlan(cfg, result.plan);
+  ASSERT_TRUE(shrunk.reproduced);
+  EXPECT_LT(shrunk.plan.events.size(), result.plan.events.size())
+      << "shrinker must remove at least one event";
+  EXPECT_GT(shrunk.replays, 0u);
+
+  // The minimal plan replays to a failing audit, and its JSON form
+  // round-trips (what chaos_run dumps as the repro artifact).
+  const ChaosCaseResult replay = ReplayFaultPlan(cfg, shrunk.plan);
+  EXPECT_FALSE(replay.ok());
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan(shrunk.plan.ToJson(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, shrunk.plan);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadNetwork fault hooks (TSan-covered: ThreadNetworkChaos*)
+// ---------------------------------------------------------------------------
+
+Message Make(NodeId src, NodeId dst) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.txn = MakeTxnId(src, 1);
+  return m;
+}
+
+TEST(ThreadNetworkChaosTest, FullLossDropsEverythingUntilCleared) {
+  ThreadNetwork net(2);
+  net.SetFaultSeed(7);
+  net.SetLossProbability(1.0);
+  for (int i = 0; i < 8; ++i) net.Send(Make(0, 1));
+  EXPECT_EQ(net.channel(1).Size(), 0u);
+  EXPECT_EQ(net.stats().messages_dropped, 8u);
+  net.ClearFaults();
+  net.Send(Make(0, 1));
+  Message out;
+  ASSERT_TRUE(net.channel(1).Pop(&out, 100ms));
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  net.Shutdown();
+}
+
+TEST(ThreadNetworkChaosTest, LinkCutIsBidirectionalAndHealable) {
+  ThreadNetwork net(3);
+  net.SetLinkDown(0, 1, true);
+  net.Send(Make(0, 1));
+  net.Send(Make(1, 0));
+  EXPECT_EQ(net.channel(0).Size(), 0u);
+  EXPECT_EQ(net.channel(1).Size(), 0u);
+  // The third node is unaffected.
+  net.Send(Make(0, 2));
+  Message out;
+  ASSERT_TRUE(net.channel(2).Pop(&out, 100ms));
+  net.SetLinkDown(0, 1, false);
+  net.Send(Make(0, 1));
+  ASSERT_TRUE(net.channel(1).Pop(&out, 100ms));
+  net.Shutdown();
+}
+
+TEST(ThreadNetworkChaosTest, LinkLossUsesMaxOfGlobalAndLink) {
+  ThreadNetwork net(2);
+  net.SetFaultSeed(11);
+  net.SetLinkLoss(0, 1, 1.0);
+  for (int i = 0; i < 4; ++i) net.Send(Make(0, 1));
+  EXPECT_EQ(net.channel(1).Size(), 0u);
+  EXPECT_EQ(net.stats().messages_dropped, 4u);
+  net.SetLinkLoss(0, 1, 0.0);
+  net.Send(Make(0, 1));
+  Message out;
+  ASSERT_TRUE(net.channel(1).Pop(&out, 100ms));
+  net.Shutdown();
+}
+
+TEST(ThreadNetworkChaosTest, ExtraDelayDefersDelivery) {
+  ThreadNetwork net(2);
+  net.SetExtraDelay(0, 1, 50'000);
+  net.Send(Make(0, 1));
+  Message out;
+  // Not delivered synchronously; the delay pump hands it over later.
+  EXPECT_FALSE(net.channel(1).TryPop(&out));
+  ASSERT_TRUE(net.channel(1).Pop(&out, 2000ms));
+  EXPECT_EQ(out.src, 0u);
+  net.ClearFaults();
+  net.Shutdown();
+}
+
+TEST(ThreadNetworkChaosTest, ApplyPlanToThreadClusterStaysSafe) {
+  ThreadClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.clients_per_node = 2;
+  cfg.protocol = CommitProtocol::kEasyCommit;
+  cfg.seed = 77;
+  // Generous wall-clock timeouts: a spuriously expired timeout on a busy
+  // CI machine acts like the Section 4.1 delay scenario.
+  cfg.commit.timeout_us = 250'000;
+  cfg.commit.termination_window_us = 80'000;
+
+  YcsbConfig ycsb;
+  ycsb.num_partitions = 3;
+  ycsb.rows_per_partition = 2048;
+  ycsb.partitions_per_txn = 2;
+
+  ThreadCluster cluster(cfg, std::make_unique<YcsbWorkload>(ycsb));
+  cluster.Start();
+
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.num_nodes = 3;
+  plan.horizon_us = 300'000;
+  plan.events.push_back(
+      {.at_us = 50'000, .type = FaultType::kCrash, .a = 2});
+  plan.events.push_back(
+      {.at_us = 120'000, .type = FaultType::kLossBurst,
+       .duration_us = 60'000, .probability = 0.02});
+  plan.events.push_back(
+      {.at_us = 200'000, .type = FaultType::kRecover, .a = 2});
+  // Blocks until the last event fired, then heals the network and
+  // recovers any node still down.
+  ApplyPlanToThreadCluster(plan, &cluster, /*time_scale=*/1.0);
+
+  cluster.RunFor(0.3);
+  cluster.Quiesce();
+  cluster.Stop();
+  EXPECT_GT(cluster.TotalCommitted(), 5u);
+  EXPECT_TRUE(cluster.monitor().Violations().empty());
+}
+
+}  // namespace
+}  // namespace ecdb
