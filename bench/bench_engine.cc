@@ -118,13 +118,20 @@ BENCHMARK(BM_NetworkBroadcast)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 // 3. End-to-end commit rounds
 // --------------------------------------------------------------------------
 
-void BM_CommitRound(benchmark::State& state, CommitProtocol protocol) {
+// The round benchmarks measure the coalesced transport (the configuration
+// the cluster experiments run with): all messages a node emits in one
+// scheduler step share a frame, and equal-latency frames share a single
+// delivery event. BM_EasyCommitRoundUncoalesced keeps the per-message
+// delivery path measured as an ablation baseline.
+void BM_CommitRound(benchmark::State& state, CommitProtocol protocol,
+                    bool coalesce = true) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   NetworkConfig net;
   net.base_latency_us = 1;
   net.jitter_us = 0;
   CommitEngineConfig commit;
   ProtocolTestbed bed(protocol, n, net, commit);
+  if (coalesce) bed.network().EnableCoalescing(true);
   for (auto _ : state) {
     const TxnId txn = bed.StartAll();
     bed.Settle();
@@ -142,9 +149,52 @@ void BM_ThreePhaseRound(benchmark::State& state) {
 void BM_EasyCommitRound(benchmark::State& state) {
   BM_CommitRound(state, CommitProtocol::kEasyCommit);
 }
+void BM_EasyCommitRoundUncoalesced(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kEasyCommit, /*coalesce=*/false);
+}
 BENCHMARK(BM_TwoPhaseRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 BENCHMARK(BM_ThreePhaseRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 BENCHMARK(BM_EasyCommitRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_EasyCommitRoundUncoalesced)->Arg(32);
+
+// Many concurrent commit rounds with coordinators spread round-robin over
+// the cluster — the shape where coalescing actually packs frames: each
+// scheduler step can emit messages for several transactions toward the
+// same destination, and the transmit-phase cross-broadcasts of different
+// transactions overlap. Measures txns/s, not rounds/s.
+void BM_EasyCommitConcurrent(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  constexpr uint32_t kInflight = 64;
+  NetworkConfig net;
+  net.base_latency_us = 1;
+  net.jitter_us = 0;
+  CommitEngineConfig commit;
+  ProtocolTestbed bed(CommitProtocol::kEasyCommit, n, net, commit);
+  bed.network().EnableCoalescing(true);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    for (uint32_t k = 0; k < kInflight; ++k) {
+      const NodeId coord = k % n;
+      const TxnId txn = MakeTxnId(coord, ++seq);
+      // StartCommit requires the coordinator at participants[0].
+      std::vector<NodeId> participants;
+      participants.push_back(coord);
+      for (NodeId id = 0; id < n; ++id) {
+        if (id != coord) participants.push_back(id);
+      }
+      for (NodeId id = 0; id < n; ++id) {
+        if (id == coord) continue;
+        bed.host(id).engine().ExpectPrepare(txn, coord, participants);
+      }
+      bed.host(coord).engine().StartCommit(txn, participants,
+                                           Decision::kCommit);
+    }
+    bed.Settle();
+    benchmark::DoNotOptimize(bed.host(0).blocked_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kInflight);
+}
+BENCHMARK(BM_EasyCommitConcurrent)->Arg(8)->Arg(32);
 
 }  // namespace
 

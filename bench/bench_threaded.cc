@@ -95,6 +95,9 @@ void ThreadedYcsb(benchmark::State& state, CommitProtocol protocol) {
   // path, not throughput.
   cfg.commit.timeout_us = 1'000'000;
   cfg.commit.termination_window_us = 200'000;
+  // Measure the coalesced transport: one SendBatch per destination per
+  // event-loop iteration, WAL group-flushed at the same boundary.
+  cfg.coalesce_transport = true;
 
   YcsbConfig ycsb;
   ycsb.num_partitions = nodes;
@@ -105,6 +108,10 @@ void ThreadedYcsb(benchmark::State& state, CommitProtocol protocol) {
   uint64_t committed = 0;
   uint64_t termination_rounds = 0;
   uint64_t dropped_at_crashed = 0;
+  uint64_t frames_sent = 0;
+  uint64_t messages_coalesced = 0;
+  uint64_t duplicate_decisions = 0;
+  uint64_t wal_group_flushes = 0;
   for (auto _ : state) {
     ThreadCluster cluster(cfg, std::make_unique<YcsbWorkload>(ycsb));
     cluster.Start();
@@ -119,6 +126,10 @@ void ThreadedYcsb(benchmark::State& state, CommitProtocol protocol) {
     const ClusterStats stats = cluster.CollectStats(elapsed);
     termination_rounds += stats.total.termination_rounds;
     dropped_at_crashed += stats.net_messages_to_crashed;
+    frames_sent += stats.net_frames_sent;
+    messages_coalesced += stats.net_messages_coalesced;
+    duplicate_decisions += stats.duplicate_decisions_suppressed;
+    wal_group_flushes += stats.wal_group_flushes;
     committed += after - before;
     state.SetIterationTime(elapsed);
   }
@@ -129,6 +140,16 @@ void ThreadedYcsb(benchmark::State& state, CommitProtocol protocol) {
       static_cast<double>(termination_rounds);
   state.counters["dropped_at_crashed"] =
       static_cast<double>(dropped_at_crashed);
+  // Coalescing yield for the run: frames on the wire, messages that rode
+  // behind another in the same frame, redundant Global-* receipts
+  // short-circuited, and WAL flushes covering grouped appends.
+  state.counters["frames_sent"] = static_cast<double>(frames_sent);
+  state.counters["messages_coalesced"] =
+      static_cast<double>(messages_coalesced);
+  state.counters["duplicate_decisions_suppressed"] =
+      static_cast<double>(duplicate_decisions);
+  state.counters["wal_group_flushes"] =
+      static_cast<double>(wal_group_flushes);
 }
 
 void BM_ThreadedYcsb2PC(benchmark::State& state) {

@@ -3,11 +3,13 @@
 // style time breakdown.
 //
 // Usage: ycsb_demo [protocol] [nodes] [theta] [write_pct] [parts_per_txn]
+//                  [coalesce]
 //   protocol: 2pc | 3pc | ec | ec-noforward     (default ec)
 //   nodes:    cluster size                      (default 8)
 //   theta:    Zipfian skew 0.0..0.95            (default 0.6)
 //   write_pct: percent of operations that write (default 50)
 //   parts_per_txn: partitions per transaction   (default 2)
+//   coalesce: 1 enables transport coalescing    (default 0)
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,13 +51,15 @@ int main(int argc, char** argv) {
   if (argc > 3) ycsb.theta = std::atof(argv[3]);
   if (argc > 4) ycsb.write_fraction = std::atof(argv[4]) / 100.0;
   if (argc > 5) ycsb.partitions_per_txn = std::atoi(argv[5]);
+  if (argc > 6) cluster_config.coalesce_transport = std::atoi(argv[6]) != 0;
   ycsb.num_partitions = cluster_config.num_nodes;
 
   std::printf("YCSB on %u nodes, %s, theta %.2f, %.0f%% writes, "
-              "%u partitions/txn\n",
+              "%u partitions/txn%s\n",
               cluster_config.num_nodes,
               ToString(cluster_config.protocol).c_str(), ycsb.theta,
-              ycsb.write_fraction * 100.0, ycsb.partitions_per_txn);
+              ycsb.write_fraction * 100.0, ycsb.partitions_per_txn,
+              cluster_config.coalesce_transport ? ", coalesced" : "");
 
   SimCluster cluster(cluster_config, std::make_unique<YcsbWorkload>(ycsb));
   cluster.Start();
@@ -114,6 +118,13 @@ int main(int argc, char** argv) {
                   cluster.network().stats().messages_sent),
               static_cast<unsigned long long>(
                   cluster.network().stats().bytes_sent));
+  std::printf("  coalescing: %llu frames, %llu messages coalesced, "
+              "%llu duplicate decisions suppressed, %llu WAL group flushes\n",
+              static_cast<unsigned long long>(stats.net_frames_sent),
+              static_cast<unsigned long long>(stats.net_messages_coalesced),
+              static_cast<unsigned long long>(
+                  stats.duplicate_decisions_suppressed),
+              static_cast<unsigned long long>(stats.wal_group_flushes));
   std::printf("  safety violations: %zu (must be 0 for 2pc/3pc/ec)\n",
               cluster.monitor().Violations().size());
   return 0;

@@ -59,7 +59,10 @@ def run_one_binary(binary, repetitions):
         }
         # Custom counters (e.g. termination_rounds / dropped_at_crashed on
         # the threaded cluster runs) ride along when the binary reports them.
-        for counter in ("termination_rounds", "dropped_at_crashed"):
+        for counter in ("termination_rounds", "dropped_at_crashed",
+                        "frames_sent", "messages_coalesced",
+                        "duplicate_decisions_suppressed",
+                        "wal_group_flushes"):
             if counter in bench:
                 results[name][counter] = bench[counter]
     return {"context": raw.get("context", {}), "results": results}

@@ -26,6 +26,7 @@ ClusterConfig MakeClusterConfig(const ChaosCaseConfig& cfg, uint64_t seed,
   // must survive rounds whose replies were all lost.
   cluster.commit.keep_decision_ledger = true;
   cluster.commit.term_fruitless_retries = cfg.term_fruitless_retries;
+  cluster.coalesce_transport = cfg.coalesce_transport;
   return cluster;
 }
 

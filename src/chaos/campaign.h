@@ -33,6 +33,12 @@ struct ChaosCaseConfig {
 
   /// Event budget for each audit drain phase.
   size_t drain_budget = 20'000'000;
+
+  /// Run the cluster over the coalescing transport (frames + per-frame
+  /// loss/latency + WAL group commit). Chaos campaigns are the safety net
+  /// proving the coalesced fast path drops/delivers frames without ever
+  /// violating atomicity or durability.
+  bool coalesce_transport = false;
 };
 
 /// Outcome of one seeded case.

@@ -58,6 +58,15 @@ struct ClusterConfig {
   /// that wait so its cost can be measured. Affects all protocols.
   bool release_locks_at_decision = false;
 
+  /// Transport-level message coalescing (SimNetwork::EnableCoalescing):
+  /// every message a scheduler step emits toward the same destination
+  /// travels as one frame, and same-arrival frames share one delivery
+  /// event. Off by default — delivery *order* across destinations changes
+  /// (per-link FIFO is preserved), so runs with the knob on are
+  /// deterministic among themselves but not bit-identical to runs with it
+  /// off. Benchmarks and the coalescing chaos variant opt in.
+  bool coalesce_transport = false;
+
   uint64_t seed = 42;
 };
 

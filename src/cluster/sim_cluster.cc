@@ -12,6 +12,7 @@ SimCluster::SimCluster(const ClusterConfig& config,
   Rng root(config_.seed);
   network_ = std::make_unique<SimNetwork>(&scheduler_, config_.network,
                                           root.Next());
+  if (config_.coalesce_transport) network_->EnableCoalescing(true);
   nodes_.reserve(config_.num_nodes);
   for (NodeId id = 0; id < config_.num_nodes; ++id) {
     nodes_.push_back(std::make_unique<SimNode>(id, config_, &scheduler_,
@@ -59,9 +60,14 @@ ClusterStats SimCluster::CollectStats(double duration_seconds) const {
         static_cast<uint64_t>(config_.workers_per_node) * window_us;
     out.total.AddTime(TimeCategory::kIdle,
                       capacity > busy ? capacity - busy : 0);
+    out.duplicate_decisions_suppressed +=
+        node->engine().duplicate_decisions_suppressed();
+    out.wal_group_flushes += node->wal().group_flushes();
   }
   out.net_messages_from_crashed = network_->stats().messages_from_crashed;
   out.net_messages_to_crashed = network_->stats().messages_to_crashed;
+  out.net_frames_sent = network_->stats().frames_sent;
+  out.net_messages_coalesced = network_->stats().messages_coalesced;
   return out;
 }
 

@@ -37,6 +37,7 @@ ThreadNode::ThreadNode(NodeId id, const ThreadClusterConfig& config,
                                            config_.commit);
   engine_->set_trace(&trace_);
   clients_.resize(config_.clients_per_node);
+  if (config_.coalesce_transport) send_buffers_.resize(config_.num_nodes);
 }
 
 ThreadNode::~ThreadNode() { Stop(); }
@@ -66,6 +67,10 @@ void ThreadNode::Loop() {
   for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
     StartNewClientTxn(slot);
   }
+  // The initial client transactions' fragments must leave before the loop
+  // first blocks on the mailbox, or every node starts its run one sleep
+  // period late waiting on everyone else's.
+  if (config_.coalesce_transport) FlushOutput();
   std::vector<Message> inbox;  // recycled: PopAll swaps its capacity in
   while (running_.load(std::memory_order_relaxed)) {
     if (crash_requested_.exchange(false)) {
@@ -83,6 +88,10 @@ void ThreadNode::Loop() {
                                                config_.commit);
       engine_->set_trace(&trace_);
       for (ClientSlot& client : clients_) client.idle = true;
+      // Unflushed frames never made it onto the wire: fail-stop means a
+      // crashed node's buffered sends die with its volatile state.
+      for (NodeId dst : dirty_dsts_) send_buffers_[dst].clear();
+      dirty_dsts_.clear();
     }
     if (recover_requested_.exchange(false)) {
       crashed_.store(false);
@@ -163,7 +172,18 @@ void ThreadNode::Loop() {
         !network_->IsCrashed(id_)) {
       FireDueTimers();
     }
+    if (config_.coalesce_transport) FlushOutput();
   }
+}
+
+void ThreadNode::FlushOutput() {
+  // Write-ahead order: this iteration's WAL group becomes durable before
+  // any message announcing its decisions reaches another node's mailbox.
+  (void)wal_->Flush();
+  for (NodeId dst : dirty_dsts_) {
+    network_->SendBatch(id_, dst, &send_buffers_[dst]);
+  }
+  dirty_dsts_.clear();
 }
 
 void ThreadNode::HandleMessage(const Message& msg) {
@@ -291,6 +311,13 @@ void ThreadNode::Send(Message msg) {
     msg.trace_seq = trace_.NextSeq();
     trace_.Record(TraceEventType::kMsgSend, NowUs(), msg.txn, msg.trace_seq,
                   msg.dst, static_cast<uint8_t>(msg.type));
+  }
+  if (config_.coalesce_transport) {
+    if (msg.dst >= send_buffers_.size()) return;  // network drops these too
+    std::vector<Message>& buf = send_buffers_[msg.dst];
+    if (buf.empty()) dirty_dsts_.push_back(msg.dst);
+    buf.push_back(std::move(msg));
+    return;
   }
   network_->Send(std::move(msg));
 }
@@ -755,9 +782,15 @@ ClusterStats ThreadCluster::CollectStats(double duration_seconds) const {
     // ledger).
     ns.termination_rounds = node->engine().termination_rounds();
     out.total.Merge(ns);
+    out.duplicate_decisions_suppressed +=
+        node->engine().duplicate_decisions_suppressed();
+    out.wal_group_flushes += node->wal().group_flushes();
   }
   out.net_messages_from_crashed = network_->messages_from_crashed();
   out.net_messages_to_crashed = network_->messages_to_crashed();
+  const NetworkStats net = network_->stats();
+  out.net_frames_sent = net.frames_sent;
+  out.net_messages_coalesced = net.messages_coalesced;
   return out;
 }
 

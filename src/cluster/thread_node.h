@@ -40,6 +40,14 @@ struct ThreadClusterConfig {
   uint32_t backoff_max_shift = 6;
   uint64_t seed = 42;
 
+  /// Transport coalescing + WAL group commit: each event-loop iteration
+  /// buffers outgoing messages per destination and ships each buffer as
+  /// one SendBatch (one mailbox lock, at most one wake, per destination
+  /// per iteration), and the iteration's WAL appends become durable with
+  /// a single Flush issued before the network flush (write-ahead order).
+  /// Off by default: throughput benchmarks opt in.
+  bool coalesce_transport = false;
+
   /// Optional directory for file-backed WALs (one per node). Empty keeps
   /// the logs in memory.
   std::string wal_dir;
@@ -321,6 +329,11 @@ class ThreadNode : public CommitEnv {
   void FireDueTimers();
   void ScheduleTimer(Micros deadline, Timer timer);
 
+  /// Coalescing flush point (end of every loop iteration): first makes
+  /// this iteration's WAL appends durable as one group, then ships each
+  /// dirty per-destination send buffer as one frame.
+  void FlushOutput();
+
   // Attempt pool. Pointers/references into the pool are invalidated by
   // NewAttempt (growth) — never hold one across a call that may start a
   // new attempt (StartNewClientTxn / StartAttempt).
@@ -376,6 +389,13 @@ class ThreadNode : public CommitEnv {
   // Timer queue, owned by the node thread.
   TimerHeap timers_;
   FlatMap<TxnId, TimerHeap::Id> protocol_timers_;
+
+  // Coalescing state (coalesce_transport only; owned by the node thread).
+  // One open send buffer per destination plus the list of destinations
+  // touched this iteration; buffers are drained by SendBatch keeping
+  // their capacity, so steady state allocates nothing.
+  std::vector<std::vector<Message>> send_buffers_;
+  std::vector<NodeId> dirty_dsts_;
 
   std::thread thread_;
   std::atomic<bool> running_{false};

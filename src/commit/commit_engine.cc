@@ -306,6 +306,7 @@ void CommitEngine::OnGlobalDecision(const Message& msg, TxnRecord& rec) {
     // *conflicting* decision can never happen under EC/2PC/3PC with node
     // failures only; the forwarding-disabled ablation does produce it, and
     // the counter is how that experiment measures safety violations.
+    duplicate_decisions_suppressed_++;
     if (rec.decision != decision) {
       conflicting_decisions_++;
       ECDB_LOG(kWarn, "conflicting decision for txn %llu on node %u",
@@ -390,7 +391,22 @@ void CommitEngine::ApplyAndLog(TxnId txn, TxnRecord& rec, Decision decision) {
   }
   SetState(txn, rec, decision == Decision::kCommit ? CohortState::kCommitted
                                                    : CohortState::kAborted);
-  if (config_.keep_decision_ledger) decision_ledger_[txn] = decision;
+  if (config_.keep_decision_ledger) LedgerRecord(txn, decision);
+}
+
+void CommitEngine::LedgerRecord(TxnId txn, Decision decision) {
+  const auto [it, inserted] = decision_ledger_.try_emplace(txn, decision);
+  if (!inserted) {
+    it->second = decision;
+    return;
+  }
+  if (config_.decision_ledger_cap == 0) return;
+  ledger_fifo_.push_back(txn);
+  while (decision_ledger_.size() > config_.decision_ledger_cap &&
+         !ledger_fifo_.empty()) {
+    decision_ledger_.erase(ledger_fifo_.front());
+    ledger_fifo_.pop_front();
+  }
 }
 
 void CommitEngine::MaybeCleanup(TxnId txn, TxnRecord& rec) {
@@ -420,8 +436,14 @@ void CommitEngine::MaybeCleanup(TxnId txn, TxnRecord& rec) {
 
   if (pending) {
     // Give-up timer: if a peer crashed and its ack/forward never comes,
-    // release resources anyway once the decision is durable.
-    env_->ArmTimer(txn, config_.timeout_us);
+    // release resources anyway once the decision is durable. Armed once
+    // per record: under EC every one of the n-1 forwards lands here, and
+    // re-arming on each would churn the timer wheel and let a steady
+    // trickle of duplicates push the give-up deadline out indefinitely.
+    if (!rec.cleanup_armed) {
+      rec.cleanup_armed = true;
+      env_->ArmTimer(txn, config_.timeout_us);
+    }
     return;
   }
   FinishCleanup(txn, rec);
@@ -461,7 +483,7 @@ void CommitEngine::OnTimeout(TxnId txn) {
     // records outlive the last missing ack.
     if (protocol_ == CommitProtocol::kTwoPhasePresumedAbort &&
         rec->decision == Decision::kCommit && !rec->acks_pending.empty()) {
-      decision_ledger_[txn] = Decision::kCommit;
+      LedgerRecord(txn, Decision::kCommit);
     }
     FinishCleanup(txn, *rec);
     return;
@@ -812,9 +834,16 @@ void CommitEngine::OnMessage(const Message& msg) {
     // the ledger first.
     if (config_.keep_decision_ledger && (msg.type == MsgType::kGlobalCommit ||
                                          msg.type == MsgType::kGlobalAbort)) {
-      decision_ledger_.emplace(msg.txn, msg.type == MsgType::kGlobalCommit
-                                            ? Decision::kCommit
-                                            : Decision::kAbort);
+      if (decision_ledger_.count(msg.txn) != 0) {
+        // Redundant copy of a decision already on record for a cleaned-up
+        // transaction — the ledger-side twin of the decided-record fast
+        // path in OnGlobalDecision.
+        duplicate_decisions_suppressed_++;
+      } else {
+        LedgerRecord(msg.txn, msg.type == MsgType::kGlobalCommit
+                                  ? Decision::kCommit
+                                  : Decision::kAbort);
+      }
     }
     return;
   }

@@ -2,6 +2,7 @@
 #define ECDB_COMMIT_COMMIT_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -71,6 +72,16 @@ struct CommitEngineConfig {
   /// nodes that timed out after this node cleaned up) can still be
   /// answered. Enabled by fault-injection tests; off for benchmarks.
   bool keep_decision_ledger = false;
+
+  /// Upper bound on decision-ledger entries; 0 = unbounded. The ledger
+  /// exists to answer peers whose termination timers are still running,
+  /// i.e. queries land within a protocol-timeout window of the decision —
+  /// a bounded FIFO loses nothing as long as the cap outlives that window
+  /// at peak decision rate (the default gives >10x headroom at the
+  /// throughput benchmarks' rates). Left unbounded, a long throughput run
+  /// grows the map without limit and every insert walks colder and colder
+  /// memory, which measurably dominates the threaded-runtime profile.
+  uint32_t decision_ledger_cap = 65'536;
 
   /// Opt-in (0 = the paper's rule, proven for fail-stop): an EC/3PC
   /// termination leader that is missing state replies from one or more
@@ -174,7 +185,7 @@ class CommitEngine {
   /// gone, but peers running the termination protocol must still get an
   /// answer from this node for transactions it decided before crashing.
   void SeedDecision(TxnId txn, Decision decision) {
-    decision_ledger_[txn] = decision;
+    LedgerRecord(txn, decision);
   }
 
   /// Number of transactions still tracked (not yet cleaned up).
@@ -188,6 +199,16 @@ class CommitEngine {
   /// failures; nonzero values quantify the safety loss of the
   /// forwarding-disabled ablation.
   uint64_t conflicting_decisions() const { return conflicting_decisions_; }
+
+  /// Global-* receipts for transactions this node had already decided —
+  /// EC's O(n^2) forward redundancy arriving after the first copy (plus
+  /// ledger-answered duplicates for cleaned-up transactions). The engine
+  /// short-circuits these to cleanup accounting instead of re-running the
+  /// adoption path; the count sizes how much of the transmit phase is
+  /// wire-level redundancy on this node.
+  uint64_t duplicate_decisions_suppressed() const {
+    return duplicate_decisions_suppressed_;
+  }
 
   /// Attaches the host's trace recorder. The engine records protocol-level
   /// events (state transitions, decision transmit/apply, termination
@@ -220,6 +241,9 @@ class CommitEngine {
     Decision decision = Decision::kAbort;
     bool applied = false;
     bool blocked = false;
+    // The post-decision give-up timer has been armed; MaybeCleanup arms it
+    // once per record instead of on every duplicate Global-* receipt.
+    bool cleanup_armed = false;
 
     // EC cleanup tracking: participants from whom a Global-* message
     // (original or forwarded) has been received.
@@ -289,6 +313,11 @@ class CommitEngine {
   void MaybeCleanup(TxnId txn, TxnRecord& rec);
   void FinishCleanup(TxnId txn, TxnRecord& rec);
 
+  /// Sole writer of the decision ledger: records (or overwrites) a
+  /// decision and, when `decision_ledger_cap` is nonzero, evicts the
+  /// oldest entries FIFO once the cap is exceeded.
+  void LedgerRecord(TxnId txn, Decision decision);
+
   // --- Termination protocol ---
   void StartTermination(TxnId txn, TxnRecord& rec);
   void OnTermElect(const Message& msg);
@@ -333,8 +362,10 @@ class CommitEngine {
   TraceRecorder* trace_ = nullptr;
   std::unordered_map<TxnId, TxnRecord> records_;
   std::unordered_map<TxnId, Decision> decision_ledger_;
+  std::deque<TxnId> ledger_fifo_;  // insertion order, drives cap eviction
   uint64_t termination_rounds_ = 0;
   uint64_t conflicting_decisions_ = 0;
+  uint64_t duplicate_decisions_suppressed_ = 0;
 };
 
 }  // namespace ecdb

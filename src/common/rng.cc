@@ -74,6 +74,7 @@ ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
   const double zeta2 = Zeta(2, theta_);
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
          (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
 }
 
 double ZipfianGenerator::Zeta(uint64_t n, double theta) {
@@ -89,7 +90,7 @@ uint64_t ZipfianGenerator::Next(Rng& rng) const {
   const double u = rng.NextDouble();
   const double uz = u * zetan_;
   if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  if (uz < 1.0 + half_pow_theta_) return 1;
   const double v =
       static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
   uint64_t item = static_cast<uint64_t>(v);

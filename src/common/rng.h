@@ -63,6 +63,7 @@ class ZipfianGenerator {
   double alpha_;
   double zetan_;
   double eta_;
+  double half_pow_theta_;  // pow(0.5, theta), hoisted off the Next hot path
 };
 
 }  // namespace ecdb

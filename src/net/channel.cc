@@ -35,6 +35,22 @@ void MessageChannel::Push(Message msg) {
   if (was_empty) cv_.notify_one();
 }
 
+void MessageChannel::PushBatch(std::vector<Message>* msgs) {
+  if (msgs->empty()) return;
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      msgs->clear();
+      return;
+    }
+    was_empty = queue_.empty();
+    for (Message& m : *msgs) queue_.push_back(std::move(m));
+  }
+  msgs->clear();
+  if (was_empty) cv_.notify_one();
+}
+
 bool MessageChannel::PopAll(std::vector<Message>* out,
                             std::chrono::microseconds timeout) {
   out->clear();
@@ -106,6 +122,34 @@ void ThreadNetwork::Send(Message msg) {
     return;
   }
   channels_[msg.dst]->Push(std::move(msg));
+}
+
+void ThreadNetwork::SendBatch(NodeId src, NodeId dst,
+                              std::vector<Message>* msgs) {
+  if (msgs->empty()) return;
+  if (dst >= channels_.size()) {
+    msgs->clear();
+    return;
+  }
+  if (crashed_[src].load(std::memory_order_relaxed)) {
+    from_crashed_.fetch_add(msgs->size(), std::memory_order_relaxed);
+    msgs->clear();
+    return;
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_.fetch_add(msgs->size() - 1, std::memory_order_relaxed);
+  if (faults_armed_.load(std::memory_order_acquire)) {
+    // Fault semantics (loss, link cuts, delays) stay per message.
+    for (Message& m : *msgs) FaultSend(std::move(m));
+    msgs->clear();
+    return;
+  }
+  if (crashed_[dst].load(std::memory_order_relaxed)) {
+    to_crashed_.fetch_add(msgs->size(), std::memory_order_relaxed);
+    msgs->clear();
+    return;
+  }
+  channels_[dst]->PushBatch(msgs);
 }
 
 void ThreadNetwork::FaultSend(Message msg) {
@@ -266,6 +310,8 @@ NetworkStats ThreadNetwork::stats() const {
   s.messages_to_crashed = to_crashed_.load(std::memory_order_relaxed);
   s.messages_from_crashed = from_crashed_.load(std::memory_order_relaxed);
   s.bytes_sent = bytes_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.messages_coalesced = coalesced_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < per_type_.size(); ++i) {
     s.per_type[static_cast<MsgType>(i)] =
         per_type_[i].load(std::memory_order_relaxed);

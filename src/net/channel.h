@@ -37,6 +37,12 @@ class MessageChannel {
   /// No-op after Close().
   void Push(Message msg);
 
+  /// Enqueues a whole batch under one lock hold with at most one wake —
+  /// the coalescing layer's channel hop: a frame of n messages costs one
+  /// mutex acquisition instead of n. `msgs` is drained (cleared, capacity
+  /// kept) so callers recycle their send buffer. No-op after Close().
+  void PushBatch(std::vector<Message>* msgs);
+
   /// Swaps the entire mailbox contents into `*out` (cleared first; its
   /// capacity is recycled as the next produce buffer), blocking up to
   /// `timeout` for the first message. Returns false on timeout or when the
@@ -79,6 +85,14 @@ class ThreadNetwork {
   /// nodes are dropped (fail-stop) and counted in `messages_from_crashed`
   /// / `messages_to_crashed`, mirroring the simulator's NetworkStats.
   void Send(Message msg);
+
+  /// Routes a coalesced frame: every message in `msgs` travels src -> dst
+  /// as one PushBatch (one lock, at most one wake) instead of one Push per
+  /// message. Crash checks are evaluated once per frame and counted per
+  /// message; when the fault path is armed the frame decays to per-message
+  /// FaultSend so loss/link/delay semantics match un-coalesced sends.
+  /// `msgs` is drained (capacity kept) so the caller recycles its buffer.
+  void SendBatch(NodeId src, NodeId dst, std::vector<Message>* msgs);
 
   /// The receiving mailbox of `node`.
   MessageChannel& channel(NodeId node) { return *channels_[node]; }
@@ -127,7 +141,8 @@ class ThreadNetwork {
   void ClearFaults();
 
   /// Snapshot of the SimNetwork-style counters. Counting starts when the
-  /// fault path is first armed; crashed-node drops are always counted.
+  /// fault path is first armed; crashed-node drops and the coalescing
+  /// counters (frames_sent / messages_coalesced) are always counted.
   NetworkStats stats() const;
 
   /// Closes every mailbox; node threads drain and exit.
@@ -160,6 +175,8 @@ class ThreadNetwork {
   std::vector<std::atomic<bool>> crashed_;
   std::atomic<uint64_t> from_crashed_{0};
   std::atomic<uint64_t> to_crashed_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> coalesced_{0};
 
   // Fault state (guarded by fault_mu_; armed flag checked lock-free).
   std::atomic<bool> faults_armed_{false};

@@ -1,0 +1,171 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace ecdb {
+namespace {
+
+// [magic u16][src u32][dst u32][count u32] (messages...) [fnv1a u32]
+constexpr uint16_t kFrameMagic = 0xECF5;
+constexpr size_t kFrameHeaderBytes = 2 + 4 + 4 + 4;
+constexpr size_t kFrameChecksumBytes = 4;
+
+// flags byte inside a message encoding
+constexpr uint8_t kFlagForwarded = 1u << 0;
+constexpr uint8_t kFlagHasDecision = 1u << 1;
+constexpr uint8_t kFlagTxnHasWrites = 1u << 2;
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+bool Get(const uint8_t* data, size_t size, size_t* at, T* v) {
+  if (size - *at < sizeof(T)) return false;
+  std::memcpy(v, data + *at, sizeof(T));
+  *at += sizeof(T);
+  return true;
+}
+
+uint32_t Fnv1a(const uint8_t* data, size_t size) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// The frame header carries src/dst once for every message inside — that
+// shared header (plus the single checksum) is the wire-level saving the
+// coalescing layer buys, so per-message encodings omit both.
+size_t EncodedMessageBytes(const Message& m) {
+  return 1 /*type*/ + 1 /*flags*/ + 1 /*term_state*/ + 1 /*decision*/ +
+         8 /*txn*/ + 8 /*priority_ts*/ + 8 /*trace_seq*/ +
+         4 + m.participants.size() * sizeof(NodeId) +
+         4 + m.ops.size() * (sizeof(TableId) + sizeof(Key) + 1 /*mode*/);
+}
+
+void EncodeMessage(const Message& m, std::vector<uint8_t>* out) {
+  Put<uint8_t>(out, static_cast<uint8_t>(m.type));
+  uint8_t flags = 0;
+  if (m.forwarded) flags |= kFlagForwarded;
+  if (m.has_decision) flags |= kFlagHasDecision;
+  if (m.txn_has_writes) flags |= kFlagTxnHasWrites;
+  Put<uint8_t>(out, flags);
+  Put<uint8_t>(out, static_cast<uint8_t>(m.term_state));
+  Put<uint8_t>(out, static_cast<uint8_t>(m.decision));
+  Put<uint64_t>(out, m.txn);
+  Put<uint64_t>(out, m.priority_ts);
+  Put<uint64_t>(out, m.trace_seq);
+  Put<uint32_t>(out, static_cast<uint32_t>(m.participants.size()));
+  for (NodeId n : m.participants) Put<NodeId>(out, n);
+  Put<uint32_t>(out, static_cast<uint32_t>(m.ops.size()));
+  for (const Operation& op : m.ops) {
+    Put<TableId>(out, op.table);
+    Put<Key>(out, op.key);
+    Put<uint8_t>(out, static_cast<uint8_t>(op.mode));
+  }
+}
+
+bool DecodeMessage(const uint8_t* data, size_t size, size_t* at, NodeId src,
+                   NodeId dst, Message* m) {
+  uint8_t type, flags, term_state, decision;
+  if (!Get(data, size, at, &type) || !Get(data, size, at, &flags) ||
+      !Get(data, size, at, &term_state) || !Get(data, size, at, &decision)) {
+    return false;
+  }
+  if (type >= static_cast<uint8_t>(MsgType::kMsgTypeCount)) return false;
+  m->type = static_cast<MsgType>(type);
+  m->src = src;
+  m->dst = dst;
+  m->forwarded = (flags & kFlagForwarded) != 0;
+  m->has_decision = (flags & kFlagHasDecision) != 0;
+  m->txn_has_writes = (flags & kFlagTxnHasWrites) != 0;
+  m->term_state = static_cast<CohortState>(term_state);
+  m->decision = static_cast<Decision>(decision);
+  if (!Get(data, size, at, &m->txn) || !Get(data, size, at, &m->priority_ts) ||
+      !Get(data, size, at, &m->trace_seq)) {
+    return false;
+  }
+  uint32_t nparticipants;
+  if (!Get(data, size, at, &nparticipants)) return false;
+  if ((size - *at) / sizeof(NodeId) < nparticipants) return false;
+  m->participants.clear();
+  for (uint32_t i = 0; i < nparticipants; ++i) {
+    NodeId n = 0;
+    Get(data, size, at, &n);
+    m->participants.push_back(n);
+  }
+  uint32_t nops;
+  if (!Get(data, size, at, &nops)) return false;
+  constexpr size_t kOpBytes = sizeof(TableId) + sizeof(Key) + 1;
+  if ((size - *at) / kOpBytes < nops) return false;
+  m->ops.clear();
+  for (uint32_t i = 0; i < nops; ++i) {
+    Operation op;
+    uint8_t mode = 0;
+    Get(data, size, at, &op.table);
+    Get(data, size, at, &op.key);
+    Get(data, size, at, &mode);
+    op.mode = static_cast<AccessMode>(mode);
+    m->ops.push_back(op);
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t MessageFrame::WireBytes() const {
+  size_t bytes = kFrameHeaderBytes + kFrameChecksumBytes;
+  for (const Message& m : messages) bytes += EncodedMessageBytes(m);
+  return bytes;
+}
+
+void EncodeFrame(const MessageFrame& frame, std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  Put<uint16_t>(out, kFrameMagic);
+  Put<NodeId>(out, frame.src);
+  Put<NodeId>(out, frame.dst);
+  Put<uint32_t>(out, static_cast<uint32_t>(frame.messages.size()));
+  for (const Message& m : frame.messages) EncodeMessage(m, out);
+  Put<uint32_t>(out, Fnv1a(out->data() + start, out->size() - start));
+}
+
+bool DecodeFrame(const uint8_t* data, size_t size, MessageFrame* out) {
+  if (size < kFrameHeaderBytes + kFrameChecksumBytes) return false;
+  size_t at = 0;
+  uint16_t magic;
+  Get(data, size, &at, &magic);
+  if (magic != kFrameMagic) return false;
+  uint32_t expected;
+  std::memcpy(&expected, data + size - kFrameChecksumBytes,
+              kFrameChecksumBytes);
+  if (Fnv1a(data, size - kFrameChecksumBytes) != expected) return false;
+  const size_t body_end = size - kFrameChecksumBytes;
+
+  NodeId src, dst;
+  uint32_t count;
+  Get(data, body_end, &at, &src);
+  Get(data, body_end, &at, &dst);
+  Get(data, body_end, &at, &count);
+  constexpr size_t kMinMsgBytes = 4 + 8 * 3 + 4 + 4;
+  if ((body_end - at) / kMinMsgBytes < count) return false;
+  MessageFrame frame;
+  frame.src = src;
+  frame.dst = dst;
+  frame.messages.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodeMessage(data, body_end, &at, src, dst, &frame.messages[i])) {
+      return false;
+    }
+  }
+  if (at != body_end) return false;  // trailing garbage
+  *out = std::move(frame);
+  return true;
+}
+
+}  // namespace ecdb

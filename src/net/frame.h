@@ -1,0 +1,51 @@
+#ifndef ECDB_NET_FRAME_H_
+#define ECDB_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+
+namespace ecdb {
+
+/// A transport frame: every protocol message one node emitted toward one
+/// destination within a single scheduler step (simulator) or mailbox drain
+/// (threaded runtime), packed into one network-level unit. The coalescing
+/// layer delivers (and drops) frames atomically — a lost frame loses every
+/// message inside it, exactly like a lost TCP segment carrying a batch.
+struct MessageFrame {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<Message> messages;
+
+  /// Serialized size of the frame: header plus the per-message encodings.
+  /// This is what the byte-accounting and per-byte latency models charge
+  /// for a coalesced send.
+  size_t WireBytes() const;
+
+  void Clear() {
+    src = kInvalidNode;
+    dst = kInvalidNode;
+    messages.clear();
+  }
+};
+
+/// Serializes `frame` into `out` (appended; callers reuse the buffer). The
+/// in-memory transports hand Message structs around directly — this codec
+/// exists so the wire format is pinned by tests and available to a real
+/// socket transport, and so WireBytes() has a ground truth.
+void EncodeFrame(const MessageFrame& frame, std::vector<uint8_t>* out);
+
+/// Parses one frame from `data`. Returns false (leaving `out` untouched
+/// beyond scratch) on a short buffer, bad magic, checksum mismatch, or
+/// trailing garbage.
+bool DecodeFrame(const uint8_t* data, size_t size, MessageFrame* out);
+
+inline bool DecodeFrame(const std::vector<uint8_t>& data, MessageFrame* out) {
+  return DecodeFrame(data.data(), data.size(), out);
+}
+
+}  // namespace ecdb
+
+#endif  // ECDB_NET_FRAME_H_

@@ -60,6 +60,14 @@ void SimNetwork::Send(Message msg) {
     stats_.messages_dropped++;
     return;
   }
+
+  if (coalesce_) {
+    // Loss and latency are per-frame decisions: drawn at flush time, once
+    // per frame, so they move to FlushCoalesced.
+    AppendToFrame(std::move(msg));
+    return;
+  }
+
   if (config_.drop_probability > 0.0 &&
       rng_.NextBernoulli(config_.drop_probability)) {
     stats_.messages_dropped++;
@@ -85,6 +93,153 @@ void SimNetwork::Send(Message msg) {
     stats_.messages_delivered++;
     handlers_[m.dst](m);
   });
+}
+
+void SimNetwork::EnableCoalescing(bool on) {
+  if (on == coalesce_) return;
+  if (!on) FlushCoalesced();  // open frames still go out coalesced
+  coalesce_ = on;
+  if (on) {
+    scheduler_->SetPostStepHook(&SimNetwork::FlushHookThunk, this);
+  } else {
+    scheduler_->SetPostStepHook(nullptr, nullptr);
+  }
+}
+
+void SimNetwork::AppendToFrame(Message msg) {
+  if (msg.src >= link_stride_ || msg.dst >= link_stride_) {
+    GrowLinkTable(std::max(msg.src, msg.dst) + 1);
+  }
+  LinkSlot& slot =
+      slot_by_link_[static_cast<size_t>(msg.src) * link_stride_ + msg.dst];
+  if (slot.epoch == flush_epoch_) {
+    open_frames_[slot.idx].frame.messages.push_back(std::move(msg));
+    return;
+  }
+  if (num_open_ == open_frames_.size()) open_frames_.emplace_back();
+  slot.epoch = flush_epoch_;
+  slot.idx = static_cast<uint32_t>(num_open_);
+  OpenFrame& of = open_frames_[num_open_++];
+  of.frame.src = msg.src;
+  of.frame.dst = msg.dst;
+  of.frame.messages.push_back(std::move(msg));
+}
+
+void SimNetwork::GrowLinkTable(uint32_t min_stride) {
+  uint32_t stride = link_stride_ == 0 ? 8 : link_stride_;
+  while (stride < min_stride) stride *= 2;
+  std::vector<LinkSlot> table(static_cast<size_t>(stride) * stride);
+  // Re-point the live entries for this step's open frames (growth can land
+  // mid-step when a new node id first appears).
+  for (size_t i = 0; i < num_open_; ++i) {
+    const MessageFrame& f = open_frames_[i].frame;
+    table[static_cast<size_t>(f.src) * stride + f.dst] = {
+        flush_epoch_, static_cast<uint32_t>(i)};
+  }
+  slot_by_link_ = std::move(table);
+  link_stride_ = stride;
+}
+
+Micros SimNetwork::FrameLatency(const MessageFrame& frame) {
+  Micros latency = config_.base_latency_us;
+  if (config_.jitter_us > 0) {
+    latency += rng_.NextBounded(config_.jitter_us + 1);
+  }
+  if (config_.per_byte_us > 0.0) {
+    // The frame ships one header for all its messages; charge the actual
+    // wire size, which is where coalescing's bandwidth saving shows up.
+    latency += static_cast<Micros>(config_.per_byte_us *
+                                   static_cast<double>(frame.WireBytes()));
+  }
+  if (!extra_delay_.empty()) {
+    auto it = extra_delay_.find(LinkKey(frame.src, frame.dst));
+    if (it != extra_delay_.end()) latency += it->second;
+  }
+  return latency;
+}
+
+uint32_t SimNetwork::AcquireFlightBatch() {
+  if (!free_flight_.empty()) {
+    const uint32_t idx = free_flight_.back();
+    free_flight_.pop_back();
+    return idx;
+  }
+  flight_.emplace_back();
+  return static_cast<uint32_t>(flight_.size() - 1);
+}
+
+void SimNetwork::FlushCoalesced() {
+  if (num_open_ == 0) return;
+  const size_t n = num_open_;
+  num_open_ = 0;
+  flush_epoch_++;  // invalidates every LinkSlot in O(1)
+  // Pass 1, in frame-creation order so the RNG stream is deterministic:
+  // one loss coin and one latency sample per frame.
+  for (size_t i = 0; i < n; ++i) {
+    OpenFrame& of = open_frames_[i];
+    stats_.frames_sent++;
+    stats_.messages_coalesced += of.frame.messages.size() - 1;
+    if (config_.drop_probability > 0.0 &&
+        rng_.NextBernoulli(config_.drop_probability)) {
+      // A lost frame loses every message inside it.
+      stats_.messages_dropped += of.frame.messages.size();
+      of.frame.messages.clear();
+      of.consumed = true;
+      continue;
+    }
+    of.consumed = false;
+    of.latency = FrameLatency(of.frame);
+  }
+  // Pass 2: frames arriving at the same instant share one delivery event —
+  // on a jitter-free network this collapses a whole broadcast step into a
+  // single scheduler entry.
+  for (size_t i = 0; i < n; ++i) {
+    if (open_frames_[i].consumed) continue;
+    const Micros latency = open_frames_[i].latency;
+    const uint32_t bi = AcquireFlightBatch();
+    FlightBatch& batch = flight_[bi];
+    for (size_t j = i; j < n; ++j) {
+      OpenFrame& of = open_frames_[j];
+      if (of.consumed || of.latency != latency) continue;
+      if (batch.used == batch.frames.size()) batch.frames.emplace_back();
+      MessageFrame& slot = batch.frames[batch.used++];
+      slot.src = of.frame.src;
+      slot.dst = of.frame.dst;
+      slot.messages.swap(of.frame.messages);  // both keep their capacity
+      of.frame.messages.clear();
+      of.consumed = true;
+    }
+    scheduler_->ScheduleAfter(latency, [this, bi]() { DeliverBatch(bi); });
+  }
+}
+
+void SimNetwork::DeliverBatch(uint32_t batch_idx) {
+  FlightBatch& batch = flight_[batch_idx];
+  for (size_t i = 0; i < batch.used; ++i) {
+    MessageFrame& frame = batch.frames[i];
+    for (Message& m : frame.messages) {
+      // Per-message delivery checks, matching the uncoalesced path: the
+      // interceptor may crash the destination mid-frame, so crash state is
+      // re-read for every message.
+      if (IsCrashed(frame.dst)) {
+        stats_.messages_to_crashed++;
+        continue;
+      }
+      if (interceptor_ && !interceptor_(m)) {
+        stats_.messages_dropped++;
+        continue;
+      }
+      if (frame.dst >= handlers_.size() || !handlers_[frame.dst]) {
+        ECDB_LOG(kWarn, "message to unregistered node %u dropped", frame.dst);
+        continue;
+      }
+      stats_.messages_delivered++;
+      handlers_[frame.dst](m);
+    }
+    frame.messages.clear();
+  }
+  batch.used = 0;
+  free_flight_.push_back(batch_idx);
 }
 
 void SimNetwork::CrashNode(NodeId node) {

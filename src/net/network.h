@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "net/frame.h"
 #include "net/message.h"
 #include "sim/scheduler.h"
 
@@ -70,6 +71,14 @@ struct NetworkStats {
   uint64_t messages_to_crashed = 0;    // destination was down
   uint64_t messages_from_crashed = 0;  // source was down at send time
   uint64_t bytes_sent = 0;
+
+  /// Coalescing layer: frames put on the wire and the sends they saved
+  /// (messages that rode in a frame behind an earlier one). Zero when
+  /// coalescing is off; `messages_sent - messages_coalesced == frames_sent`
+  /// over any window where every open frame has been flushed.
+  uint64_t frames_sent = 0;
+  uint64_t messages_coalesced = 0;
+
   MsgTypeCounts per_type;
 };
 
@@ -83,6 +92,11 @@ class SimNetwork {
   using Handler = std::function<void(const Message&)>;
 
   SimNetwork(Scheduler* scheduler, NetworkConfig config, uint64_t seed);
+  ~SimNetwork() {
+    // Uninstall the flush hook so a scheduler outliving this network can't
+    // call into freed memory.
+    if (coalesce_) scheduler_->SetPostStepHook(nullptr, nullptr);
+  }
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
@@ -134,14 +148,68 @@ class SimNetwork {
   /// affects messages sent after the call; in-flight deliveries stand.
   void SetDropProbability(double p) { config_.drop_probability = p; }
 
+  /// Transport-level coalescing: when on, Send() appends to a per-(src,dst)
+  /// open frame instead of scheduling a delivery event per message, and the
+  /// scheduler's post-step hook flushes every open frame at the end of the
+  /// step that produced it. Flushing draws one loss coin and one jitter
+  /// sample per *frame* (a dropped frame loses every message inside it) and
+  /// collapses frames with the same arrival time into a single delivery
+  /// event — EasyCommit's O(n^2) transmit phase becomes O(n) frames and,
+  /// on a jitter-free network, O(1) scheduler events per step. Per-message
+  /// semantics preserved at the edges: send filter, crashed-source, link
+  /// cuts and byte accounting still apply at Send() time; crashed-dest and
+  /// the delivery interceptor at delivery time. Turning it off flushes any
+  /// open frames first.
+  void EnableCoalescing(bool on);
+  bool coalescing() const { return coalesce_; }
+
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats(); }
 
   const NetworkConfig& config() const { return config_; }
 
  private:
+  /// An open frame accumulating this step's messages toward one
+  /// destination. Pooled: slots (and their message vectors' capacity) are
+  /// recycled across steps. `latency`/`consumed` are FlushCoalesced
+  /// scratch.
+  struct OpenFrame {
+    Micros latency = 0;
+    bool consumed = false;
+    MessageFrame frame;
+  };
+
+  /// (src,dst) -> open-frame slot for the current step. Epoch-stamped so a
+  /// flush invalidates the whole table in O(1); an entry is live only when
+  /// its epoch matches `flush_epoch_`. A batched delivery event runs every
+  /// recipient's handler in one scheduler step, so a single step can open
+  /// O(n^2) frames (the EC transmit phase) — lookup must be O(1), not a
+  /// scan over open frames.
+  struct LinkSlot {
+    uint64_t epoch = 0;
+    uint32_t idx = 0;
+  };
+
+  /// Frames sharing one arrival time, delivered by one scheduler event.
+  /// Pooled and referenced from the event by index, so scheduling a
+  /// delivery allocates nothing in steady state.
+  struct FlightBatch {
+    std::vector<MessageFrame> frames;
+    size_t used = 0;
+  };
+
   Micros SampleLatency(const Message& msg, size_t bytes);
+  Micros FrameLatency(const MessageFrame& frame);
   bool LinkDown(NodeId a, NodeId b) const;
+  void AppendToFrame(Message msg);
+  void GrowLinkTable(uint32_t min_stride);
+  void FlushCoalesced();
+  void DeliverBatch(uint32_t batch_idx);
+  uint32_t AcquireFlightBatch();
+
+  static void FlushHookThunk(void* self) {
+    static_cast<SimNetwork*>(self)->FlushCoalesced();
+  }
 
   static uint64_t LinkKey(NodeId a, NodeId b) {
     return (static_cast<uint64_t>(a) << 32) | b;
@@ -157,6 +225,15 @@ class SimNetwork {
   DeliveryInterceptor interceptor_;
   SendFilter send_filter_;
   NetworkStats stats_;
+
+  bool coalesce_ = false;
+  std::vector<OpenFrame> open_frames_;  // [0, num_open_) are this step's
+  size_t num_open_ = 0;
+  std::vector<LinkSlot> slot_by_link_;  // link_stride_^2, (src,dst)-indexed
+  uint32_t link_stride_ = 0;
+  uint64_t flush_epoch_ = 1;
+  std::vector<FlightBatch> flight_;
+  std::vector<uint32_t> free_flight_;
 };
 
 }  // namespace ecdb

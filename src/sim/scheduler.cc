@@ -4,10 +4,12 @@ namespace ecdb {
 
 size_t Scheduler::RunUntil(Micros until) {
   size_t executed = 0;
+  if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);
   const Entry* head;
   while ((head = PeekLive()) != nullptr && head->when <= until) {
     RunHead();
     ++executed;
+    if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);
   }
   if (now_ < until) now_ = until;
   return executed;
@@ -15,7 +17,12 @@ size_t Scheduler::RunUntil(Micros until) {
 
 size_t Scheduler::RunAll(size_t max_events) {
   size_t executed = 0;
-  while (executed < max_events && RunOne()) ++executed;
+  if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);
+  while (executed < max_events && PeekLive() != nullptr) {
+    RunHead();
+    ++executed;
+    if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);
+  }
   return executed;
 }
 

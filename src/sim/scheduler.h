@@ -89,11 +89,25 @@ class Scheduler {
     return true;
   }
 
+  /// Installs a hook invoked between events: at the entry of every run
+  /// call (so work produced outside any event is folded in before the
+  /// scheduler decides what is next or whether it is idle) and after each
+  /// executed event. The transport coalescing layer uses this to flush
+  /// per-destination send buffers at step boundaries; the hook may
+  /// schedule new events. A raw function pointer keeps the idle cost of
+  /// the feature to one null check per step.
+  void SetPostStepHook(void (*hook)(void*), void* ctx) {
+    post_step_hook_ = hook;
+    post_step_ctx_ = ctx;
+  }
+
   /// Runs the next pending event, advancing the clock to its timestamp.
   /// Returns false if no events remain.
   bool RunOne() {
+    if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);
     if (PeekLive() == nullptr) return false;
     RunHead();
+    if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);
     return true;
   }
 
@@ -213,6 +227,9 @@ class Scheduler {
     }
     heap_[i] = e;
   }
+
+  void (*post_step_hook_)(void*) = nullptr;
+  void* post_step_ctx_ = nullptr;
 
   Micros now_ = 0;
   uint64_t next_seq_ = 0;

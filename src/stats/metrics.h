@@ -76,6 +76,22 @@ struct ClusterStats {
   uint64_t net_messages_from_crashed = 0;
   uint64_t net_messages_to_crashed = 0;
 
+  /// Transport coalescing + group commit accounting (whole run; all zero
+  /// when the coalescing knob is off). `net_frames_sent` counts framed
+  /// batches put on the wire and `net_messages_coalesced` the messages
+  /// that rode behind another in the same frame — their ratio is the
+  /// effective batch factor. `duplicate_decisions_suppressed` counts
+  /// Global-* receipts short-circuited because the transaction was
+  /// already decided locally (EC's O(n^2) redundancy; counted regardless
+  /// of the knob). `wal_group_flushes` counts WAL flushes that covered
+  /// pending records — each one stands in for the per-append syncs group
+  /// commit amortized away. Engine-derived counters reset when a crash
+  /// recreates a node's engine, like termination_rounds.
+  uint64_t net_frames_sent = 0;
+  uint64_t net_messages_coalesced = 0;
+  uint64_t duplicate_decisions_suppressed = 0;
+  uint64_t wal_group_flushes = 0;
+
   /// Committed transactions per second of (simulated) time.
   double Throughput() const {
     return duration_seconds > 0

@@ -28,10 +28,26 @@ std::string ToString(LogRecordType type) {
   return "unknown";
 }
 
+uint64_t WriteAheadLog::AppendBatch(std::vector<LogRecord>* records) {
+  uint64_t last = 0;
+  for (LogRecord& r : *records) last = Append(std::move(r));
+  records->clear();
+  return last;
+}
+
 uint64_t MemoryWal::Append(LogRecord record) {
   record.lsn = records_.size() + 1;
   records_.push_back(record);
+  appended_since_flush_++;
   return record.lsn;
+}
+
+Status MemoryWal::Flush() {
+  if (appended_since_flush_ > 0) {
+    group_flushes_++;
+    appended_since_flush_ = 0;
+  }
+  return Status::OK();
 }
 
 std::vector<LogRecord> MemoryWal::Scan() const { return records_; }
@@ -62,22 +78,25 @@ uint32_t Checksum(const LogRecord& r) {
   return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
-std::vector<unsigned char> EncodeRecord(const LogRecord& r) {
-  std::vector<unsigned char> out(kHeaderBytes + 4 * r.participants.size() + 4);
-  std::memcpy(out.data(), &kRecordMagic, 2);
-  out[2] = static_cast<unsigned char>(r.type);
-  out[3] = static_cast<unsigned char>(r.participants.size());
-  std::memcpy(out.data() + 4, &r.txn, 8);
-  std::memcpy(out.data() + 12, &r.lsn, 8);
+// Appends the encoding of `r` to `*out` (the staging buffer), so a whole
+// group of records encodes into one contiguous write.
+void EncodeRecord(const LogRecord& r, std::vector<unsigned char>* out) {
+  const size_t start = out->size();
+  out->resize(start + kHeaderBytes + 4 * r.participants.size() + 4);
+  unsigned char* p = out->data() + start;
+  std::memcpy(p, &kRecordMagic, 2);
+  p[2] = static_cast<unsigned char>(r.type);
+  p[3] = static_cast<unsigned char>(r.participants.size());
+  std::memcpy(p + 4, &r.txn, 8);
+  std::memcpy(p + 12, &r.lsn, 8);
   size_t off = kHeaderBytes;
-  for (NodeId p : r.participants) {
-    uint32_t v = p;
-    std::memcpy(out.data() + off, &v, 4);
+  for (NodeId part : r.participants) {
+    uint32_t v = part;
+    std::memcpy(p + off, &v, 4);
     off += 4;
   }
   const uint32_t check = Checksum(r);
-  std::memcpy(out.data() + off, &check, 4);
-  return out;
+  std::memcpy(p + off, &check, 4);
 }
 
 // Reads one record from `file`; false on EOF or corruption.
@@ -108,6 +127,9 @@ FileWal::FileWal(std::string path, std::FILE* file)
     : path_(std::move(path)), file_(file) {}
 
 FileWal::~FileWal() {
+  // Orderly shutdown is not a crash: staged records go out with the log.
+  // Nothing to report a flush failure to here; the file is closing anyway.
+  (void)Flush();
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -126,15 +148,22 @@ Result<std::unique_ptr<FileWal>> FileWal::Open(const std::string& path) {
     wal->records_.push_back(record);
   }
   std::fseek(file, 0, SEEK_END);
+  wal->flushed_records_ = wal->records_.size();
   return wal;
 }
 
 uint64_t FileWal::Append(LogRecord record) {
   record.lsn = records_.size() + 1;
-  const std::vector<unsigned char> buf = EncodeRecord(record);
-  std::fwrite(buf.data(), 1, buf.size(), file_);
-  records_.push_back(record);
-  return record.lsn;
+  EncodeRecord(record, &pending_);
+  records_.push_back(std::move(record));
+  return records_.back().lsn;
+}
+
+uint64_t FileWal::AppendBatch(std::vector<LogRecord>* records) {
+  uint64_t last = 0;
+  for (LogRecord& r : *records) last = Append(std::move(r));
+  records->clear();
+  return last;
 }
 
 std::vector<LogRecord> FileWal::Scan() const { return records_; }
@@ -146,9 +175,22 @@ std::optional<LogRecord> FileWal::LastFor(TxnId txn) const {
   return std::nullopt;
 }
 
-Status FileWal::Sync() {
+Status FileWal::Flush() {
+  if (pending_.empty()) return Status::OK();
+  if (std::fwrite(pending_.data(), 1, pending_.size(), file_) !=
+      pending_.size()) {
+    return Status::IOError("WAL group write failed");
+  }
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  pending_.clear();
+  flushed_records_ = records_.size();
+  group_flushes_++;
   return Status::OK();
+}
+
+void FileWal::DropUnflushed() {
+  pending_.clear();
+  records_.resize(flushed_records_);
 }
 
 }  // namespace ecdb

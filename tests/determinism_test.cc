@@ -51,12 +51,17 @@ struct TraceResult {
 // Three back-to-back EasyCommit rounds on a 5-node cluster with jittered
 // latency, seed fixed. Returns the full delivery trace, an FNV-1a hash
 // over (time, type, src, dst, txn) per delivery, and the network totals.
-TraceResult RunGoldenScenario() {
+// With `coalesce`, the same scenario runs over the coalescing transport:
+// loss/jitter are drawn once per frame, in frame-creation order (see the
+// coalesced golden below for why that makes this scenario's trace coincide
+// with the uncoalesced one).
+TraceResult RunGoldenScenario(bool coalesce = false) {
   NetworkConfig net;
   net.base_latency_us = 400;
   net.jitter_us = 100;
   CommitEngineConfig commit;
   ProtocolTestbed bed(CommitProtocol::kEasyCommit, 5, net, commit, 20180326);
+  if (coalesce) bed.network().EnableCoalescing(true);
 
   TraceResult r;
   r.hash = 1469598103934665603ULL;  // FNV-1a offset basis
@@ -122,6 +127,44 @@ TEST(DeterminismTest, GoldenTraceHashAndTotals) {
   EXPECT_EQ(r.stats.per_type.at(MsgType::kGlobalCommit), 60u);
 
   EXPECT_EQ(r.final_now, 5769u);
+}
+
+// The golden scenario over the coalescing transport. In this scenario the
+// coalesced trace coincides *exactly* with the uncoalesced golden: every
+// scheduler step delivers one message, whose handler emits messages toward
+// distinct destinations — so each frame carries a single message, and the
+// per-frame jitter draws happen in the same RNG order as the per-message
+// draws did. Pinning that equality is the strongest possible statement:
+// the coalescing layer adds no observable perturbation until a step
+// genuinely multi-sends to one destination. Message-level conservation
+// must also hold exactly.
+TEST(DeterminismTest, CoalescedGoldenTraceAndTotals) {
+  const TraceResult r = RunGoldenScenario(/*coalesce=*/true);
+
+  EXPECT_EQ(r.deliveries.size(), 84u);
+  EXPECT_EQ(r.stats.messages_sent, 84u);
+  EXPECT_EQ(r.stats.messages_delivered, 84u);
+  EXPECT_EQ(r.stats.bytes_sent, 3696u);
+  EXPECT_EQ(r.stats.messages_sent - r.stats.messages_coalesced,
+            r.stats.frames_sent);
+  EXPECT_EQ(r.stats.per_type.at(MsgType::kGlobalCommit), 60u);
+
+  EXPECT_EQ(r.stats.frames_sent, 84u);  // one-message frames throughout
+  EXPECT_EQ(r.stats.messages_coalesced, 0u);
+  EXPECT_EQ(r.hash, 3149154581355681350ULL);  // == the uncoalesced golden
+  EXPECT_EQ(r.final_now, 5769u);
+}
+
+// Same seed, fresh testbed, coalescing on: bit-stable replay — the whole
+// point of drawing per-frame randomness in deterministic creation order.
+TEST(DeterminismTest, CoalescedRunsReplayIdentically) {
+  const TraceResult a = RunGoldenScenario(/*coalesce=*/true);
+  const TraceResult b = RunGoldenScenario(/*coalesce=*/true);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.final_now, b.final_now);
+  EXPECT_EQ(a.stats.frames_sent, b.stats.frames_sent);
+  EXPECT_EQ(a.stats.messages_coalesced, b.stats.messages_coalesced);
 }
 
 // Same seed, fresh testbed: the complete event sequence must be

@@ -1,4 +1,5 @@
-// Unit tests for the simulated network and its fault injection.
+// Unit tests for the simulated network, its fault injection, the frame
+// codec and the transport-coalescing layer.
 
 #include "net/network.h"
 
@@ -6,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/frame.h"
 #include "sim/scheduler.h"
 
 namespace ecdb {
@@ -239,6 +241,216 @@ TEST(NetworkMessageTest, ApproximateBytesGrowsWithPayload) {
   const size_t with_parts = m.ApproximateBytes();
   m.ops.resize(10);
   EXPECT_GT(m.ApproximateBytes(), with_parts);
+}
+
+// --------------------------------------------------------------------------
+// Frame codec
+// --------------------------------------------------------------------------
+
+TEST(FrameCodecTest, RoundTripPreservesAllFields) {
+  MessageFrame frame;
+  frame.src = 3;
+  frame.dst = 9;
+
+  Message full;
+  full.type = MsgType::kTermStateReply;
+  full.src = 3;  // per-message src/dst ride in the frame header
+  full.dst = 9;
+  full.txn = MakeTxnId(3, 77);
+  full.priority_ts = 123456789ULL;
+  full.trace_seq = 42;
+  full.forwarded = true;
+  full.has_decision = true;
+  full.txn_has_writes = true;
+  full.term_state = CohortState::kPreCommit;
+  full.decision = Decision::kAbort;
+  full.participants = {0, 1, 2, 7};
+  Operation op;
+  op.table = 1;
+  op.key = 0xdeadbeef;
+  op.mode = AccessMode::kWrite;
+  full.ops = {op, op};
+
+  Message minimal;
+  minimal.type = MsgType::kVoteCommit;
+  minimal.src = 3;
+  minimal.dst = 9;
+  minimal.txn = MakeTxnId(3, 78);
+
+  frame.messages = {full, minimal};
+
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, &wire);
+  EXPECT_EQ(wire.size(), frame.WireBytes());
+
+  MessageFrame decoded;
+  ASSERT_TRUE(DecodeFrame(wire, &decoded));
+  EXPECT_EQ(decoded.src, 3u);
+  EXPECT_EQ(decoded.dst, 9u);
+  ASSERT_EQ(decoded.messages.size(), 2u);
+
+  const Message& d = decoded.messages[0];
+  EXPECT_EQ(d.type, MsgType::kTermStateReply);
+  EXPECT_EQ(d.src, 3u);
+  EXPECT_EQ(d.dst, 9u);
+  EXPECT_EQ(d.txn, full.txn);
+  EXPECT_EQ(d.priority_ts, full.priority_ts);
+  EXPECT_EQ(d.trace_seq, full.trace_seq);
+  EXPECT_TRUE(d.forwarded);
+  EXPECT_TRUE(d.has_decision);
+  EXPECT_TRUE(d.txn_has_writes);
+  EXPECT_EQ(d.term_state, CohortState::kPreCommit);
+  EXPECT_EQ(d.decision, Decision::kAbort);
+  EXPECT_EQ(d.participants, full.participants);
+  ASSERT_EQ(d.ops.size(), 2u);
+  EXPECT_EQ(d.ops[1].key, op.key);
+  EXPECT_EQ(d.ops[1].mode, AccessMode::kWrite);
+
+  EXPECT_EQ(decoded.messages[1].type, MsgType::kVoteCommit);
+  EXPECT_EQ(decoded.messages[1].txn, minimal.txn);
+}
+
+TEST(FrameCodecTest, EmptyFrameRoundTrips) {
+  MessageFrame frame;
+  frame.src = 1;
+  frame.dst = 2;
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, &wire);
+  MessageFrame decoded;
+  ASSERT_TRUE(DecodeFrame(wire, &decoded));
+  EXPECT_EQ(decoded.src, 1u);
+  EXPECT_TRUE(decoded.messages.empty());
+}
+
+TEST(FrameCodecTest, RejectsCorruptionAndTruncation) {
+  MessageFrame frame;
+  frame.src = 0;
+  frame.dst = 1;
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.src = 0;
+  m.dst = 1;
+  m.txn = MakeTxnId(0, 5);
+  m.participants = {0, 1};
+  frame.messages = {m};
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, &wire);
+  MessageFrame out;
+
+  // Any single flipped byte must fail the checksum (or the magic).
+  for (size_t i : {size_t{0}, size_t{3}, wire.size() / 2, wire.size() - 1}) {
+    std::vector<uint8_t> bad = wire;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(DecodeFrame(bad, &out)) << "flipped byte " << i;
+  }
+  // Torn writes: every strict prefix must be rejected.
+  for (size_t len : {size_t{0}, size_t{5}, wire.size() - 1}) {
+    EXPECT_FALSE(DecodeFrame(wire.data(), len, &out)) << "prefix " << len;
+  }
+  // Trailing garbage after a well-formed frame.
+  std::vector<uint8_t> padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeFrame(padded, &out));
+}
+
+// --------------------------------------------------------------------------
+// Transport coalescing
+// --------------------------------------------------------------------------
+
+class CoalescingTest : public ::testing::Test {
+ protected:
+  CoalescingTest() : net_(&sched_, Config(), 42) {
+    for (NodeId id = 0; id < 4; ++id) {
+      net_.RegisterNode(id, [this, id](const Message& msg) {
+        received_.emplace_back(id, msg);
+      });
+    }
+    net_.EnableCoalescing(true);
+  }
+
+  static NetworkConfig Config() {
+    NetworkConfig cfg;
+    cfg.base_latency_us = 100;
+    cfg.jitter_us = 0;  // deterministic arrival for exact assertions
+    return cfg;
+  }
+
+  Scheduler sched_;
+  SimNetwork net_;
+  std::vector<std::pair<NodeId, Message>> received_;
+};
+
+TEST_F(CoalescingTest, MessagesToOneDestinationShareAFrame) {
+  net_.Send(Make(0, 1, MsgType::kPrepare));
+  net_.Send(Make(0, 1, MsgType::kVoteCommit));
+  net_.Send(Make(0, 2, MsgType::kPrepare));
+  sched_.RunAll();
+
+  ASSERT_EQ(received_.size(), 3u);
+  EXPECT_EQ(net_.stats().messages_sent, 3u);
+  EXPECT_EQ(net_.stats().messages_delivered, 3u);
+  EXPECT_EQ(net_.stats().frames_sent, 2u);  // dst 1 and dst 2
+  EXPECT_EQ(net_.stats().messages_coalesced, 1u);
+  EXPECT_EQ(net_.stats().messages_sent - net_.stats().messages_coalesced,
+            net_.stats().frames_sent);
+  // Per-link FIFO order within the frame.
+  EXPECT_EQ(received_[0].second.type, MsgType::kPrepare);
+  EXPECT_EQ(received_[1].second.type, MsgType::kVoteCommit);
+}
+
+TEST_F(CoalescingTest, EqualLatencyFramesCollapseToOneArrivalTime) {
+  // A jitter-free broadcast step: every frame arrives at the same instant.
+  net_.Send(Make(0, 1));
+  net_.Send(Make(0, 2));
+  net_.Send(Make(0, 3));
+  sched_.RunAll();
+  EXPECT_EQ(received_.size(), 3u);
+  EXPECT_EQ(sched_.Now(), 100u);
+  EXPECT_EQ(net_.stats().frames_sent, 3u);
+}
+
+TEST_F(CoalescingTest, DroppedFrameDropsEveryMessageInside) {
+  net_.SetDropProbability(1.0);
+  net_.Send(Make(0, 1, MsgType::kPrepare));
+  net_.Send(Make(0, 1, MsgType::kVoteCommit));
+  net_.Send(Make(0, 1, MsgType::kGlobalCommit));
+  sched_.RunAll();
+
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_.stats().messages_sent, 3u);
+  EXPECT_EQ(net_.stats().messages_dropped, 3u);  // one coin, three losses
+  EXPECT_EQ(net_.stats().frames_sent, 1u);
+}
+
+TEST_F(CoalescingTest, CrashedDestinationDropsWholeInFlightFrame) {
+  net_.Send(Make(0, 1));
+  net_.Send(Make(0, 1));
+  net_.CrashNode(1);  // crash while the frame is in flight
+  sched_.RunAll();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_.stats().messages_to_crashed, 2u);
+}
+
+TEST_F(CoalescingTest, DisablingCoalescingFlushesOpenFrames) {
+  net_.Send(Make(0, 1));
+  net_.EnableCoalescing(false);  // must not strand the buffered message
+  sched_.RunAll();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(net_.stats().frames_sent, 1u);
+}
+
+TEST_F(CoalescingTest, InterceptorSeesEveryCoalescedMessage) {
+  size_t intercepted = 0;
+  net_.SetDeliveryInterceptor([&](const Message&) {
+    intercepted++;
+    return true;
+  });
+  net_.Send(Make(0, 1));
+  net_.Send(Make(0, 1));
+  net_.Send(Make(0, 2));
+  sched_.RunAll();
+  EXPECT_EQ(intercepted, 3u);
+  EXPECT_EQ(received_.size(), 3u);
 }
 
 TEST(NetworkMessageTest, ToStringCoversAllTypes) {

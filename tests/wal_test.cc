@@ -144,5 +144,86 @@ TEST(FileWalTest, OpenFailsForBadPath) {
   EXPECT_EQ(wal.status().code(), Code::kIOError);
 }
 
+// --------------------------------------------------------------------------
+// Group commit
+// --------------------------------------------------------------------------
+
+TEST(FileWalTest, GroupCommitCrashLosesOnlyUnflushedSuffix) {
+  const std::string path = TempPath("wal_group_crash.log");
+  std::remove(path.c_str());
+  {
+    auto wal = std::move(FileWal::Open(path)).value();
+    wal->Append({0, 1, LogRecordType::kReady, {}});
+    wal->Append({0, 2, LogRecordType::kReady, {}});
+    ASSERT_TRUE(wal->Flush().ok());  // group boundary: 1-2 durable
+    wal->Append({0, 3, LogRecordType::kReady, {}});
+    wal->Append({0, 4, LogRecordType::kReady, {}});
+
+    // Staged appends are visible to Scan/LastFor immediately — the engine
+    // reads its own writes before the group is flushed.
+    EXPECT_EQ(wal->Size(), 4u);
+    EXPECT_TRUE(wal->LastFor(4).has_value());
+    EXPECT_EQ(wal->group_flushes(), 1u);
+
+    wal->DropUnflushed();  // crash: the unflushed group never hit disk
+    EXPECT_EQ(wal->Size(), 2u);
+    EXPECT_FALSE(wal->LastFor(3).has_value());
+  }
+  auto wal = std::move(FileWal::Open(path)).value();
+  ASSERT_EQ(wal->Size(), 2u);  // recovery replays exactly the flushed prefix
+  EXPECT_EQ(wal->Scan()[1].txn, 2u);
+  // New appends continue the LSN sequence from the surviving prefix.
+  EXPECT_EQ(wal->Append({0, 9, LogRecordType::kReady, {}}), 3u);
+}
+
+TEST(FileWalTest, DestructorFlushesStagedAppends) {
+  // Orderly shutdown is not a crash: staged records reach the file even
+  // without an explicit Flush/Sync.
+  const std::string path = TempPath("wal_dtor_flush.log");
+  std::remove(path.c_str());
+  {
+    auto wal = std::move(FileWal::Open(path)).value();
+    wal->Append({0, 5, LogRecordType::kCommitDecision, {}});
+  }
+  auto wal = std::move(FileWal::Open(path)).value();
+  EXPECT_EQ(wal->Size(), 1u);
+}
+
+TEST(FileWalTest, AppendBatchIsOneGroup) {
+  const std::string path = TempPath("wal_batch.log");
+  std::remove(path.c_str());
+  auto wal = std::move(FileWal::Open(path)).value();
+  std::vector<LogRecord> batch = {
+      {0, 1, LogRecordType::kReady, {}},
+      {0, 2, LogRecordType::kReady, {}},
+      {0, 3, LogRecordType::kReady, {}},
+  };
+  EXPECT_EQ(wal->AppendBatch(&batch), 3u);  // returns the last LSN
+  EXPECT_TRUE(batch.empty());               // drained
+  ASSERT_TRUE(wal->Flush().ok());
+  EXPECT_EQ(wal->group_flushes(), 1u);  // three appends, one write+flush
+  EXPECT_EQ(wal->Size(), 3u);
+}
+
+TEST(FileWalTest, FlushWithNothingPendingIsFree) {
+  const std::string path = TempPath("wal_empty_flush.log");
+  std::remove(path.c_str());
+  auto wal = std::move(FileWal::Open(path)).value();
+  ASSERT_TRUE(wal->Flush().ok());
+  ASSERT_TRUE(wal->Flush().ok());
+  EXPECT_EQ(wal->group_flushes(), 0u);  // no pending group, no flush counted
+}
+
+TEST(MemoryWalTest, GroupFlushCountsCoveredGroups) {
+  MemoryWal wal;
+  wal.Append({0, 1, LogRecordType::kReady, {}});
+  wal.Append({0, 2, LogRecordType::kReady, {}});
+  ASSERT_TRUE(wal.Flush().ok());
+  ASSERT_TRUE(wal.Flush().ok());  // empty group: not counted
+  wal.Append({0, 3, LogRecordType::kReady, {}});
+  ASSERT_TRUE(wal.Flush().ok());
+  EXPECT_EQ(wal.group_flushes(), 2u);
+}
+
 }  // namespace
 }  // namespace ecdb

@@ -2,7 +2,7 @@
 //
 //   chaos_run [--seeds N] [--first-seed S] [--protocols ec,3pc,2pc]
 //             [--intensity light|default|heavy] [--nodes N]
-//             [--clients N] [--horizon-us N] [--retries N]
+//             [--clients N] [--horizon-us N] [--retries N] [--coalesce]
 //             [--dump-dir DIR] [--trace-dir DIR] [--shrink]
 //   chaos_run --plan FILE [--shrink] [--trace-dir DIR] [--protocols ec]
 //
@@ -92,7 +92,8 @@ int Usage(const char* argv0) {
                "usage: %s [--seeds N] [--first-seed S] [--protocols csv]\n"
                "          [--intensity light|default|heavy] [--nodes N]\n"
                "          [--clients N] [--horizon-us N] [--retries N]\n"
-               "          [--dump-dir DIR] [--trace-dir DIR] [--shrink]\n"
+               "          [--coalesce] [--dump-dir DIR] [--trace-dir DIR]\n"
+               "          [--shrink]\n"
                "       %s --plan FILE [--shrink] [--trace-dir DIR]\n",
                argv0, argv0);
   return 2;
@@ -141,6 +142,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--retries") {
       cfg.term_fruitless_retries =
           static_cast<uint32_t>(std::strtoul(next("--retries"), nullptr, 10));
+    } else if (arg == "--coalesce") {
+      cfg.coalesce_transport = true;
     } else if (arg == "--plan") {
       plan_path = next("--plan");
     } else if (arg == "--dump-dir") {
