@@ -124,13 +124,14 @@ BENCHMARK(BM_NetworkBroadcast)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 // delivery event. BM_EasyCommitRoundUncoalesced keeps the per-message
 // delivery path measured as an ablation baseline.
 void BM_CommitRound(benchmark::State& state, CommitProtocol protocol,
-                    bool coalesce = true) {
+                    bool coalesce = true,
+                    SchedulerBackend backend = SchedulerBackend::kHeap) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   NetworkConfig net;
   net.base_latency_us = 1;
   net.jitter_us = 0;
   CommitEngineConfig commit;
-  ProtocolTestbed bed(protocol, n, net, commit);
+  ProtocolTestbed bed(protocol, n, net, commit, /*seed=*/7, backend);
   if (coalesce) bed.network().EnableCoalescing(true);
   for (auto _ : state) {
     const TxnId txn = bed.StartAll();
@@ -152,10 +153,26 @@ void BM_EasyCommitRound(benchmark::State& state) {
 void BM_EasyCommitRoundUncoalesced(benchmark::State& state) {
   BM_CommitRound(state, CommitProtocol::kEasyCommit, /*coalesce=*/false);
 }
+// Timer-wheel ablation: identical rounds over the wheel backend. The wheel
+// trades the heap's O(log n) pop for O(1) bucket ops — at large n the
+// event queue holds tens of thousands of pending deliveries and the
+// backend choice shows up directly in rounds/s.
+void BM_EasyCommitRoundWheel(benchmark::State& state) {
+  BM_CommitRound(state, CommitProtocol::kEasyCommit, /*coalesce=*/true,
+                 SchedulerBackend::kTimerWheel);
+}
 BENCHMARK(BM_TwoPhaseRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 BENCHMARK(BM_ThreePhaseRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
-BENCHMARK(BM_EasyCommitRound)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+// The scale axis: 256/1024/4096 stress the O(active)-link network state
+// and the pooled engine records; a full EC round at n=4096 is ~16.8M
+// cohort-to-cohort decision messages (paper Section 5.3's O(n^2)).
+BENCHMARK(BM_EasyCommitRound)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_EasyCommitRoundUncoalesced)->Arg(32);
+BENCHMARK(BM_EasyCommitRoundWheel)
+    ->Arg(32)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
 
 // Many concurrent commit rounds with coordinators spread round-robin over
 // the cluster — the shape where coalescing actually packs frames: each

@@ -1,0 +1,130 @@
+// Open-loop load benchmarks (google-benchmark): transactions arrive at a
+// configured per-node rate, independent of completions — the load model of
+// the ROADMAP north-star, where the paper's closed loop structurally cannot
+// show queueing collapse. Each benchmark advances a SimCluster in fixed
+// slices of simulated time and reports, as counters:
+//
+//   offered_per_sec    arrival rate actually generated (whole cluster)
+//   committed_per_sec  goodput — plateaus below offered under overload
+//   rejected_per_sec   admission-control sheds (whole cluster)
+//   p50_us/p99_us/p999_us  end-to-end committed-transaction latency
+//
+// Two families:
+//   BM_OpenLoop{2PC,3PC,EasyCommit}  — protocol comparison at a fixed,
+//                                      moderately loaded arrival rate.
+//   BM_OpenLoopRateSweep             — EC under a rising offered rate; the
+//                                      offered-vs-p99 curve for
+//                                      docs/PERFORMANCE.md.
+//
+// `scripts/bench_to_json.py` runs this binary and appends a labeled entry
+// to BENCH_engine.json alongside bench_engine / bench_threaded.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "cluster/sim_cluster.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace ecdb;
+
+// Simulated seconds per benchmark iteration. Short enough that the harness
+// can calibrate, long enough that a slice holds thousands of arrivals.
+constexpr double kSliceSeconds = 0.05;
+
+ClusterConfig OpenLoopCluster(uint32_t n, CommitProtocol protocol,
+                              double rate_per_node) {
+  ClusterConfig cfg = bench::DefaultCluster(n, protocol);
+  cfg.open_loop.enabled = true;
+  cfg.open_loop.arrivals_per_sec_per_node = rate_per_node;
+  return cfg;
+}
+
+void ReportOpenLoop(benchmark::State& state, SimCluster& cluster,
+                    double measured_seconds) {
+  const ClusterStats stats = cluster.CollectStats(measured_seconds);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(stats.total.txns_committed));
+  state.counters["offered_per_sec"] =
+      benchmark::Counter(stats.OfferedRate());
+  state.counters["committed_per_sec"] =
+      benchmark::Counter(stats.Throughput());
+  state.counters["rejected_per_sec"] = benchmark::Counter(
+      measured_seconds > 0
+          ? static_cast<double>(stats.total.open_loop_rejected) /
+                measured_seconds
+          : 0.0);
+  state.counters["p50_us"] = benchmark::Counter(
+      static_cast<double>(stats.total.latency.Percentile(0.50)));
+  state.counters["p99_us"] = benchmark::Counter(
+      static_cast<double>(stats.total.latency.Percentile(0.99)));
+  state.counters["p999_us"] = benchmark::Counter(
+      static_cast<double>(stats.total.latency.Percentile(0.999)));
+}
+
+void BM_OpenLoopLoad(benchmark::State& state, CommitProtocol protocol,
+                     double rate_per_node) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  SimCluster cluster(
+      OpenLoopCluster(n, protocol, rate_per_node),
+      std::make_unique<YcsbWorkload>(bench::DefaultYcsb(n)));
+  cluster.Start();
+  cluster.RunFor(bench::kWarmupSeconds);
+  cluster.BeginMeasurement();
+  double measured = 0;
+  for (auto _ : state) {
+    cluster.RunFor(kSliceSeconds);
+    measured += kSliceSeconds;
+  }
+  ReportOpenLoop(state, cluster, measured);
+}
+
+// Protocol comparison at a rate that keeps an 8-node cluster busy without
+// saturating it, so the p99 difference is protocol cost, not queueing.
+constexpr double kComparisonRate = 1500.0;
+
+void BM_OpenLoop2PC(benchmark::State& state) {
+  BM_OpenLoopLoad(state, CommitProtocol::kTwoPhase, kComparisonRate);
+}
+void BM_OpenLoop3PC(benchmark::State& state) {
+  BM_OpenLoopLoad(state, CommitProtocol::kThreePhase, kComparisonRate);
+}
+void BM_OpenLoopEasyCommit(benchmark::State& state) {
+  BM_OpenLoopLoad(state, CommitProtocol::kEasyCommit, kComparisonRate);
+}
+BENCHMARK(BM_OpenLoop2PC)->Arg(8)->Arg(32);
+BENCHMARK(BM_OpenLoop3PC)->Arg(8)->Arg(32);
+BENCHMARK(BM_OpenLoopEasyCommit)->Arg(8)->Arg(32);
+
+// Offered-rate sweep (EC, 8 nodes): as the arrival rate crosses the
+// cluster's capacity, committed_per_sec plateaus, rejected_per_sec takes
+// off, and p99 jumps — the open-loop signature the closed loop hides.
+void BM_OpenLoopRateSweep(benchmark::State& state) {
+  const uint32_t n = 8;
+  const double rate = static_cast<double>(state.range(0));
+  SimCluster cluster(
+      OpenLoopCluster(n, CommitProtocol::kEasyCommit, rate),
+      std::make_unique<YcsbWorkload>(bench::DefaultYcsb(n)));
+  cluster.Start();
+  cluster.RunFor(bench::kWarmupSeconds);
+  cluster.BeginMeasurement();
+  double measured = 0;
+  for (auto _ : state) {
+    cluster.RunFor(kSliceSeconds);
+    measured += kSliceSeconds;
+  }
+  ReportOpenLoop(state, cluster, measured);
+}
+BENCHMARK(BM_OpenLoopRateSweep)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -33,9 +33,16 @@ def git_commit():
 
 
 #: Benchmark binaries recorded into each snapshot. bench_engine (simulator
-#: hot paths) is required; bench_threaded (wall-clock threaded runtime) is
-#: skipped with a warning when the build predates it.
-BINARIES = [("bench_engine", True), ("bench_threaded", False)]
+#: hot paths) is required; bench_threaded (wall-clock threaded runtime) and
+#: bench_open_loop (offered-load latency tails) are skipped with a warning
+#: when the build predates them.
+BINARIES = [("bench_engine", True), ("bench_threaded", False),
+            ("bench_open_loop", False)]
+
+#: google-benchmark time_unit -> nanosecond multiplier. Benchmarks choose
+#: their display unit (the 4096-node rounds report in us); the trajectory
+#: file always stores ns so entries stay comparable across unit changes.
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def run_one_binary(binary, repetitions):
@@ -52,19 +59,28 @@ def run_one_binary(binary, repetitions):
         if bench.get("aggregate_name", "median") != "median":
             continue
         name = bench["run_name"] if "run_name" in bench else bench["name"]
+        unit = TIME_UNIT_NS.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            sys.exit(f"{name}: unknown time_unit "
+                     f"'{bench.get('time_unit')}' in benchmark output")
         results[name] = {
-            "real_time_ns": bench["real_time"],
-            "cpu_time_ns": bench["cpu_time"],
+            "real_time_ns": bench["real_time"] * unit,
+            "cpu_time_ns": bench["cpu_time"] * unit,
             "items_per_second": bench.get("items_per_second"),
         }
-        # Custom counters (e.g. termination_rounds / dropped_at_crashed on
-        # the threaded cluster runs) ride along when the binary reports them.
+        # Custom counters (e.g. termination_rounds on the threaded cluster
+        # runs, latency tails on the open-loop runs) ride along when the
+        # binary reports them.
         for counter in ("termination_rounds", "dropped_at_crashed",
                         "frames_sent", "messages_coalesced",
                         "duplicate_decisions_suppressed",
-                        "wal_group_flushes"):
+                        "wal_group_flushes",
+                        "offered_per_sec", "committed_per_sec",
+                        "rejected_per_sec", "p50_us", "p99_us", "p999_us"):
             if counter in bench:
                 results[name][counter] = bench[counter]
+    if not results:
+        sys.exit(f"{binary} produced no parseable benchmark results")
     return {"context": raw.get("context", {}), "results": results}
 
 
@@ -96,6 +112,38 @@ def load(path):
             "entries": []}
 
 
+def pr_number(label):
+    """pr-style labels ('pr3') order by number; 'seed' sorts first."""
+    if label == "seed":
+        return -1
+    if label.startswith("pr") and label[2:].isdigit():
+        return int(label[2:])
+    return None
+
+
+def validate_entries(entries):
+    """The trajectory file is append-only history: labels must be unique
+    and pr-numbered labels must appear in increasing order. A violation
+    means a snapshot was recorded out of sequence (or hand-edited), which
+    silently corrupts every later --compare."""
+    seen = set()
+    last_ordered = None
+    for entry in entries:
+        label = entry.get("label")
+        if not label:
+            sys.exit("trajectory entry without a label")
+        if label in seen:
+            sys.exit(f"duplicate trajectory label '{label}'")
+        seen.add(label)
+        number = pr_number(label)
+        if number is None:
+            continue  # ad-hoc labels (e.g. 'wip') carry no order
+        if last_ordered is not None and number <= last_ordered:
+            sys.exit(f"trajectory label '{label}' out of order: recorded "
+                     f"after pr{last_ordered}")
+        last_ordered = number
+
+
 def cmd_record(args):
     out_path = os.path.join(REPO_ROOT, args.out)
     data = load(out_path)
@@ -109,6 +157,7 @@ def cmd_record(args):
     }
     data["entries"] = [e for e in data["entries"] if e["label"] != args.label]
     data["entries"].append(entry)
+    validate_entries(data["entries"])
     with open(out_path, "w") as f:
         json.dump(data, f, indent=2)
         f.write("\n")
@@ -118,12 +167,23 @@ def cmd_record(args):
 
 def cmd_compare(args):
     data = load(os.path.join(REPO_ROOT, args.out))
+    validate_entries(data["entries"])
     by_label = {e["label"]: e for e in data["entries"]}
     for label in (args.base, args.new):
         if label not in by_label:
             sys.exit(f"no entry labeled '{label}' in {args.out}")
     base = by_label[args.base]["benchmarks"]
     new = by_label[args.new]["benchmarks"]
+    # A benchmark present in the base but missing from the new snapshot is
+    # the classic silent regression (binary dropped from BINARIES, bench
+    # renamed, run truncated) — fail loudly instead of shrinking the table.
+    missing = sorted(set(base) - set(new))
+    if missing:
+        sys.exit(f"benchmarks in '{args.base}' but missing from "
+                 f"'{args.new}': {', '.join(missing)}")
+    for name in sorted(set(new) - set(base)):
+        print(f"note: {name} is new in '{args.new}' (no baseline)",
+              file=sys.stderr)
     print(f"{'benchmark':<40} {args.base:>12} {args.new:>12} {'speedup':>9}")
     for name in sorted(set(base) & set(new)):
         bi = base[name].get("items_per_second")

@@ -9,6 +9,7 @@
 #include "chaos/consistency_audit.h"
 #include "chaos/fault_plan.h"
 #include "common/types.h"
+#include "sim/scheduler.h"
 
 namespace ecdb {
 
@@ -39,6 +40,11 @@ struct ChaosCaseConfig {
   /// proving the coalesced fast path drops/delivers frames without ever
   /// violating atomicity or durability.
   bool coalesce_transport = false;
+
+  /// Event-queue backend. The timer wheel must survive the same fault
+  /// interleavings as the reference heap; campaigns under kTimerWheel are
+  /// the safety net for the wheel's ordering guarantees.
+  SchedulerBackend scheduler_backend = SchedulerBackend::kHeap;
 };
 
 /// Outcome of one seeded case.

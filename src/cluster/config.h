@@ -7,6 +7,8 @@
 #include "commit/commit_engine.h"
 #include "common/types.h"
 #include "net/network.h"
+#include "sim/scheduler.h"
+#include "workload/open_loop.h"
 
 namespace ecdb {
 
@@ -66,6 +68,17 @@ struct ClusterConfig {
   /// deterministic among themselves but not bit-identical to runs with it
   /// off. Benchmarks and the coalescing chaos variant opt in.
   bool coalesce_transport = false;
+
+  /// Event-queue backend for the simulation scheduler. The heap default is
+  /// fastest at small scale; kTimerWheel keeps dispatch O(1) amortized when
+  /// a 10^3..10^4-node cluster holds millions of pending events. Event
+  /// order is bit-identical under either (pinned by the determinism
+  /// goldens).
+  SchedulerBackend scheduler_backend = SchedulerBackend::kHeap;
+
+  /// Open-loop load generation (off by default: clients run the classic
+  /// closed loop, one transaction in flight each).
+  OpenLoopConfig open_loop;
 
   uint64_t seed = 42;
 };

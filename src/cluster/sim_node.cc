@@ -21,12 +21,19 @@ SimNode::SimNode(NodeId id, const ClusterConfig& config, Scheduler* scheduler,
       store_(id),
       partitioner_(config.num_nodes),
       locks_(config.cc_policy),
+      // The arrival stream's seed is derived from (not equal to) the node
+      // seed so it does not correlate with the workload rng_.
+      arrivals_(config.open_loop, seed ^ 0x9e3779b97f4a7c15ULL),
       txn_ids_(id) {
   trace_.set_node(id_);
   engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                            config_.commit);
   engine_->set_trace(&trace_);
-  clients_.resize(config_.clients_per_node);
+  // Under the open loop the slots are the admission-control window, not a
+  // fixed population of closed-loop clients.
+  clients_.resize(config_.open_loop.enabled
+                      ? config_.open_loop.max_in_flight_per_node
+                      : config_.clients_per_node);
 }
 
 SimNode::~SimNode() = default;
@@ -39,9 +46,45 @@ void SimNode::Bootstrap() {
 }
 
 void SimNode::StartClients() {
+  if (config_.open_loop.enabled) {
+    free_client_slots_.reserve(clients_.size());
+    for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+      free_client_slots_.push_back(slot);
+    }
+    ScheduleNextArrival();
+    return;
+  }
   for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
     StartNewClientTxn(slot);
   }
+}
+
+// --------------------------------------------------------------------------
+// Open-loop load generation
+// --------------------------------------------------------------------------
+
+void SimNode::ScheduleNextArrival() {
+  const uint64_t epoch = epoch_;
+  scheduler_->ScheduleAfter(arrivals_.NextGapUs(), [this, epoch]() {
+    // Quiesce ends the arrival stream (the event chain simply stops), so
+    // in-flight work drains and the scheduler reaches quiescence.
+    if (crashed_ || epoch != epoch_ || quiesced_) return;
+    OnArrival();
+    ScheduleNextArrival();
+  });
+}
+
+void SimNode::OnArrival() {
+  stats_.open_loop_offered++;
+  if (free_client_slots_.empty()) {
+    // Admission control: shed the arrival (counted, never queued) so an
+    // overloaded node's backlog stays bounded.
+    stats_.open_loop_rejected++;
+    return;
+  }
+  const uint32_t slot = free_client_slots_.back();
+  free_client_slots_.pop_back();
+  StartNewClientTxn(slot);
 }
 
 // --------------------------------------------------------------------------
@@ -374,11 +417,14 @@ void SimNode::StartAttempt(uint32_t slot) {
       attempt.remote_ops[part].push_back(op);
     }
   }
-  attempt.participants.push_back(id_);
-  for (const auto& [node, ops] : attempt.remote_ops) {
-    attempt.participants.push_back(node);
+  {
+    std::vector<NodeId>& parts = attempt.participants.Mutable();
+    parts.push_back(id_);
+    for (const auto& [node, ops] : attempt.remote_ops) {
+      parts.push_back(node);
+    }
+    std::sort(parts.begin() + 1, parts.end());
   }
-  std::sort(attempt.participants.begin() + 1, attempt.participants.end());
 
   const size_t local_count = attempt.local_ops.size();
   attempts_[txn] = std::move(attempt);
@@ -488,8 +534,14 @@ void SimNode::FinishCommitted(TxnId txn) {
   if (track_acked_ && it->second.protocol_started) {
     acked_commits_.push_back(txn);
   }
-  // Closed loop: the client immediately submits its next transaction.
   const uint32_t slot = it->second.slot;
+  if (config_.open_loop.enabled) {
+    // Open loop: the slot returns to the admission window; the next
+    // transaction arrives when the arrival process says so.
+    free_client_slots_.push_back(slot);
+    return;
+  }
+  // Closed loop: the client immediately submits its next transaction.
   StartNewClientTxn(slot);
 }
 
@@ -523,6 +575,16 @@ void SimNode::AbortAttempt(TxnId txn, bool send_rollbacks) {
 }
 
 void SimNode::ScheduleRetry(uint32_t slot) {
+  if (config_.open_loop.enabled &&
+      (quiesced_ ||
+       clients_[slot].attempts >= config_.open_loop.max_attempts)) {
+    // Terminal abort: the retry budget ran out (or quiesce is draining
+    // the node). Bounded retries keep the conservation law exact.
+    stats_.open_loop_aborted++;
+    clients_[slot].in_flight = false;
+    free_client_slots_.push_back(slot);
+    return;
+  }
   if (quiesced_) {
     clients_[slot].in_flight = false;
     return;
@@ -658,6 +720,17 @@ void SimNode::Crash() {
   engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                            config_.commit);
   engine_->set_trace(&trace_);
+  if (config_.open_loop.enabled) {
+    // Admitted in-flight transactions die with the volatile state; count
+    // them as terminal aborts so the conservation law survives crashes.
+    free_client_slots_.clear();
+    for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+      if (clients_[slot].in_flight) stats_.open_loop_aborted++;
+      clients_[slot].in_flight = false;
+      free_client_slots_.push_back(slot);
+    }
+    return;
+  }
   for (ClientSlot& client : clients_) client.in_flight = false;
 }
 
@@ -689,7 +762,7 @@ void SimNode::Recover() {
         const CohortState state = last->type == LogRecordType::kPreCommit
                                       ? CohortState::kPreCommit
                                       : CohortState::kReady;
-        std::vector<NodeId> participants = last->participants;
+        CowVector<NodeId> participants = last->participants;
         if (participants.empty()) {
           for (const LogRecord& r : wal_.Scan()) {
             if (r.txn == txn && !r.participants.empty()) {
@@ -729,11 +802,17 @@ void SimNode::Recover() {
     }
   }
 
-  // The node is back in service: clients reconnect and resume the closed
-  // loop (their pre-crash transactions died with the volatile state).
+  // The node is back in service. Open loop: the crash's epoch bump killed
+  // the pending arrival event, so restart the stream; closed loop: clients
+  // reconnect and resume (their pre-crash transactions died with the
+  // volatile state).
   if (!quiesced_) {
-    for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
-      if (!clients_[slot].in_flight) StartNewClientTxn(slot);
+    if (config_.open_loop.enabled) {
+      ScheduleNextArrival();
+    } else {
+      for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+        if (!clients_[slot].in_flight) StartNewClientTxn(slot);
+      }
     }
   }
 }

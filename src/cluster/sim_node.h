@@ -22,6 +22,7 @@
 #include "trace/trace_recorder.h"
 #include "txn/transaction.h"
 #include "wal/wal.h"
+#include "workload/open_loop.h"
 #include "workload/workload.h"
 
 namespace ecdb {
@@ -137,6 +138,14 @@ class SimNode : public CommitEnv {
   /// Clients with no in-flight transaction (blocked clients are excluded).
   size_t IdleClientCount() const;
 
+  /// Client slots currently carrying a transaction. Under the open loop
+  /// this is the admission-control occupancy; at drain it reaches zero,
+  /// closing the conservation law offered == committed + rejected +
+  /// terminal aborts.
+  size_t InFlightClientCount() const {
+    return clients_.size() - IdleClientCount();
+  }
+
  private:
   /// One closed-loop client connection.
   struct ClientSlot {
@@ -159,7 +168,9 @@ class SimNode : public CommitEnv {
     std::vector<UndoRecord> local_undo;
     std::unordered_set<NodeId> pending_remote;
     std::unordered_set<NodeId> ok_remote;
-    std::vector<NodeId> participants;
+    // Copy-on-write: one buffer, shared by every fragment message, the
+    // engine's record, and the begin-commit/ready WAL entries.
+    CowVector<NodeId> participants;
     bool has_writes = false;
     bool local_ok = false;
     bool aborting = false;
@@ -204,6 +215,11 @@ class SimNode : public CommitEnv {
   void HandleRemoteExecReply(const Message& msg, bool ok);
   void HandleRemoteRollback(const Message& msg);
 
+  // Open-loop load generation (config_.open_loop.enabled): arrivals are a
+  // self-rescheduling scheduler event stream, independent of completions.
+  void ScheduleNextArrival();
+  void OnArrival();
+
   // Coordinator paths.
   void StartNewClientTxn(uint32_t slot);
   void StartAttempt(uint32_t slot);
@@ -240,6 +256,10 @@ class SimNode : public CommitEnv {
   std::unique_ptr<CommitEngine> engine_;
 
   std::vector<ClientSlot> clients_;
+  // Open loop only: idle slot indices (clients_ sized to the admission cap)
+  // and the deterministic per-node arrival-gap generator.
+  std::vector<uint32_t> free_client_slots_;
+  ArrivalSchedule arrivals_;
   std::unordered_map<TxnId, AttemptState> attempts_;
   std::unordered_map<TxnId, FragmentState> fragments_;
   std::unordered_set<TxnId> pending_rollbacks_;  // rollback beat the exec

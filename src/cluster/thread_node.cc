@@ -23,6 +23,7 @@ ThreadNode::ThreadNode(NodeId id, const ThreadClusterConfig& config,
       store_(id),
       partitioner_(config.num_nodes),
       locks_(config.cc_policy),
+      arrivals_(config.open_loop, seed ^ 0x9e3779b97f4a7c15ULL),
       txn_ids_(id) {
   if (config_.wal_dir.empty()) {
     wal_ = std::make_unique<MemoryWal>();
@@ -36,7 +37,11 @@ ThreadNode::ThreadNode(NodeId id, const ThreadClusterConfig& config,
   engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                            config_.commit);
   engine_->set_trace(&trace_);
-  clients_.resize(config_.clients_per_node);
+  // Under the open loop the slots are the admission-control window, not a
+  // fixed population of closed-loop clients.
+  clients_.resize(config_.open_loop.enabled
+                      ? config_.open_loop.max_in_flight_per_node
+                      : config_.clients_per_node);
   if (config_.coalesce_transport) send_buffers_.resize(config_.num_nodes);
 }
 
@@ -64,8 +69,17 @@ Micros ThreadNode::NowUs() const {
 
 void ThreadNode::Loop() {
   epoch_start_ = std::chrono::steady_clock::now();
-  for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
-    StartNewClientTxn(slot);
+  if (config_.open_loop.enabled) {
+    free_client_slots_.reserve(clients_.size());
+    for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+      free_client_slots_.push_back(slot);
+    }
+    next_arrival_us_ = NowUs();
+    ScheduleNextArrival();
+  } else {
+    for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+      StartNewClientTxn(slot);
+    }
   }
   // The initial client transactions' fragments must leave before the loop
   // first blocks on the mailbox, or every node starts its run one sleep
@@ -87,7 +101,19 @@ void ThreadNode::Loop() {
       engine_ = std::make_unique<CommitEngine>(config_.protocol, this,
                                                config_.commit);
       engine_->set_trace(&trace_);
-      for (ClientSlot& client : clients_) client.idle = true;
+      if (config_.open_loop.enabled) {
+        // Admitted in-flight transactions die with the volatile state;
+        // count them as terminal aborts so the conservation law survives
+        // crashes. (timers_.Clear() above also killed the arrival chain.)
+        free_client_slots_.clear();
+        for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+          if (!clients_[slot].idle) stats_.open_loop_aborted++;
+          clients_[slot].idle = true;
+          free_client_slots_.push_back(slot);
+        }
+      } else {
+        for (ClientSlot& client : clients_) client.idle = true;
+      }
       // Unflushed frames never made it onto the wire: fail-stop means a
       // crashed node's buffered sends die with its volatile state.
       for (NodeId dst : dirty_dsts_) send_buffers_[dst].clear();
@@ -141,8 +167,15 @@ void ThreadNode::Loop() {
             break;
         }
       }
-      for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
-        StartNewClientTxn(slot);
+      if (config_.open_loop.enabled) {
+        // The crash wiped the arrival chain; restart it rebased to now so
+        // the downtime doesn't replay as a burst of overdue arrivals.
+        next_arrival_us_ = NowUs();
+        ScheduleNextArrival();
+      } else {
+        for (uint32_t slot = 0; slot < clients_.size(); ++slot) {
+          StartNewClientTxn(slot);
+        }
       }
     }
 
@@ -242,8 +275,43 @@ void ThreadNode::FireDueTimers() {
       case TimerKind::kRetry:
         StartAttempt(timer.slot);
         break;
+      case TimerKind::kArrival:
+        // Quiesce ends the chain: no further arrivals, in-flight drains.
+        if (quiesce_.load(std::memory_order_relaxed)) break;
+        OnArrival();
+        // Rescheduling inside the PopDue loop lets a slow iteration catch
+        // up: every gap that elapsed while the loop slept fires now, so
+        // the long-run offered rate tracks the configured rate exactly.
+        ScheduleNextArrival();
+        break;
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Open-loop load generation
+// --------------------------------------------------------------------------
+
+void ThreadNode::ScheduleNextArrival() {
+  // Paced from the previous deadline, not from "now": if the loop fell
+  // behind, the next deadline lands in the past and fires in the same
+  // FireDueTimers batch, so no arrival is silently dropped.
+  next_arrival_us_ += arrivals_.NextGapUs();
+  ScheduleTimer(next_arrival_us_,
+                Timer{TimerKind::kArrival, kInvalidTxn, /*slot=*/0});
+}
+
+void ThreadNode::OnArrival() {
+  stats_.open_loop_offered++;
+  if (free_client_slots_.empty()) {
+    // Admission control: shed the arrival (counted, never queued) so an
+    // overloaded node's backlog stays bounded.
+    stats_.open_loop_rejected++;
+    return;
+  }
+  const uint32_t slot = free_client_slots_.back();
+  free_client_slots_.pop_back();
+  StartNewClientTxn(slot);
 }
 
 // --------------------------------------------------------------------------
@@ -375,17 +443,7 @@ void ThreadNode::ApplyDecision(TxnId txn, Decision decision) {
       UndoWrites(attempt->local_undo);
       attempt->local_undo.clear();
       stats_.txns_aborted++;
-      if (quiesce_.load(std::memory_order_relaxed)) {
-        clients_[attempt->slot].idle = true;
-      } else {
-        const uint32_t shift = std::min(clients_[attempt->slot].attempts,
-                                        config_.backoff_max_shift);
-        const Micros backoff = static_cast<Micros>(
-            rng_.NextDouble() * static_cast<double>(config_.backoff_base_us) *
-            static_cast<double>(1ULL << shift));
-        ScheduleTimer(NowUs() + backoff,
-                      Timer{TimerKind::kRetry, kInvalidTxn, attempt->slot});
-      }
+      RetryOrGiveUp(attempt->slot);
     } else {
       FinishCommitted(txn);
     }
@@ -468,9 +526,12 @@ void ThreadNode::StartAttempt(uint32_t slot) {
             [](const RemoteFragment& a, const RemoteFragment& b) {
               return a.node < b.node;
             });
-  attempt.participants.push_back(id_);
-  for (size_t i = 0; i < attempt.num_remotes; ++i) {
-    attempt.participants.push_back(attempt.remotes[i].node);
+  {
+    std::vector<NodeId>& parts = attempt.participants.Mutable();
+    parts.push_back(id_);
+    for (size_t i = 0; i < attempt.num_remotes; ++i) {
+      parts.push_back(attempt.remotes[i].node);
+    }
   }
 
   const uint64_t ts = next_priority_ts_++;
@@ -612,12 +673,26 @@ void ThreadNode::AbortAttempt(TxnId txn, bool send_rollbacks) {
   stats_.txns_aborted++;
   const uint32_t slot = attempt->slot;
   EraseAttempt(txn);
-  if (quiesce_.load(std::memory_order_relaxed)) {
-    clients_[slot].idle = true;
+  RetryOrGiveUp(slot);
+}
+
+void ThreadNode::RetryOrGiveUp(uint32_t slot) {
+  ClientSlot& client = clients_[slot];
+  if (config_.open_loop.enabled &&
+      (quiesce_.load(std::memory_order_relaxed) ||
+       client.attempts >= config_.open_loop.max_attempts)) {
+    // Terminal abort: the retry budget ran out (or quiesce is draining the
+    // node). Bounded retries keep the conservation law exact.
+    stats_.open_loop_aborted++;
+    client.idle = true;
+    free_client_slots_.push_back(slot);
     return;
   }
-  const uint32_t shift = std::min(clients_[slot].attempts,
-                                  config_.backoff_max_shift);
+  if (quiesce_.load(std::memory_order_relaxed)) {
+    client.idle = true;
+    return;
+  }
+  const uint32_t shift = std::min(client.attempts, config_.backoff_max_shift);
   const Micros backoff = static_cast<Micros>(
       rng_.NextDouble() * static_cast<double>(config_.backoff_base_us) *
       static_cast<double>(1ULL << shift));
@@ -649,6 +724,12 @@ void ThreadNode::FinishCommitted(TxnId txn) {
   committed_.fetch_add(1, std::memory_order_relaxed);
   stats_.latency.Record(NowUs() - client.first_start_us);
   client.idle = true;
+  if (config_.open_loop.enabled) {
+    // Open loop: the slot returns to the admission window; the next
+    // transaction arrives when the arrival process says so.
+    free_client_slots_.push_back(slot);
+    return;
+  }
   // StartNewClientTxn allocates from the attempt pool, invalidating
   // `attempt` — which is why the slot was copied out above.
   if (!quiesce_.load(std::memory_order_relaxed)) {

@@ -21,6 +21,7 @@
 #include "trace/trace_recorder.h"
 #include "txn/transaction.h"
 #include "wal/wal.h"
+#include "workload/open_loop.h"
 #include "workload/workload.h"
 
 namespace ecdb {
@@ -51,6 +52,11 @@ struct ThreadClusterConfig {
   /// Optional directory for file-backed WALs (one per node). Empty keeps
   /// the logs in memory.
   std::string wal_dir;
+
+  /// Open-loop load generation (off: clients run the classic closed loop).
+  /// Arrivals are wall-clock timer events on the node thread; the
+  /// admission window replaces clients_per_node as the slot population.
+  OpenLoopConfig open_loop;
 };
 
 /// One server node of the threaded runtime: a single OS thread owns all
@@ -156,7 +162,9 @@ class ThreadNode : public CommitEnv {
     size_t next_remote = 0;
     std::vector<UndoRecord> local_undo;
     NodeId pending_remote = kInvalidNode;
-    std::vector<NodeId> participants;
+    // Copy-on-write: one buffer, shared by every fragment message, the
+    // engine's record, and the begin-commit/ready WAL entries.
+    CowVector<NodeId> participants;
     bool has_writes = false;
     bool protocol_started = false;
     bool aborting = false;
@@ -166,7 +174,7 @@ class ThreadNode : public CommitEnv {
     RemoteFragment* FindRemote(NodeId node);
   };
 
-  enum class TimerKind : uint8_t { kProtocol, kExec, kRetry };
+  enum class TimerKind : uint8_t { kProtocol, kExec, kRetry, kArrival };
   struct Timer {
     TimerKind kind;
     TxnId txn = kInvalidTxn;
@@ -341,6 +349,16 @@ class ThreadNode : public CommitEnv {
   AttemptState* FindAttempt(TxnId txn);
   void EraseAttempt(TxnId txn);
 
+  // Open-loop load generation (config_.open_loop.enabled): arrivals are a
+  // self-rescheduling kArrival timer chain on the node thread.
+  void ScheduleNextArrival();
+  void OnArrival();
+
+  /// Shared tail of the two abort paths: schedules a backoff retry, or —
+  /// open loop only — terminally aborts once the attempt budget is spent
+  /// (or quiesce is draining) and returns the slot to the admission window.
+  void RetryOrGiveUp(uint32_t slot);
+
   // Coordinator paths (mirrors SimNode, synchronous execution).
   void StartNewClientTxn(uint32_t slot);
   void StartAttempt(uint32_t slot);
@@ -374,6 +392,13 @@ class ThreadNode : public CommitEnv {
   std::unique_ptr<CommitEngine> engine_;
 
   std::vector<ClientSlot> clients_;
+  // Open loop only: idle slot indices (clients_ sized to the admission cap),
+  // the per-node arrival-gap generator, and the running arrival deadline
+  // (paced gap-by-gap so slow loop iterations don't drop arrivals). All
+  // owned by the node thread.
+  std::vector<uint32_t> free_client_slots_;
+  ArrivalSchedule arrivals_;
+  Micros next_arrival_us_ = 0;
 
   // Per-txn state: flat indices into a recycled pool (attempts) and flat
   // value storage (fragments). pending_rollbacks_ is a plain vector — it

@@ -12,16 +12,37 @@ CommitEngine::CommitEngine(CommitProtocol protocol, CommitEnv* env,
     : protocol_(protocol), env_(env), config_(config) {}
 
 CommitEngine::TxnRecord* CommitEngine::Find(TxnId txn) {
-  auto it = records_.find(txn);
-  return it == records_.end() ? nullptr : &it->second;
+  const uint32_t* idx = index_.Find(txn);
+  return idx == nullptr ? nullptr : &pool_[*idx];
 }
 
-std::vector<NodeId> CommitEngine::Cohorts(const TxnRecord& rec) const {
-  std::vector<NodeId> cohorts;
-  for (NodeId p : rec.participants) {
-    if (p != env_->self()) cohorts.push_back(p);
+const CommitEngine::TxnRecord* CommitEngine::Find(TxnId txn) const {
+  const uint32_t* idx = index_.Find(txn);
+  return idx == nullptr ? nullptr : &pool_[*idx];
+}
+
+CommitEngine::TxnRecord& CommitEngine::GetOrCreate(TxnId txn) {
+  const auto [slot, inserted] = index_.Emplace(txn, 0);
+  if (!inserted) return pool_[*slot];
+  uint32_t idx;
+  if (!free_records_.empty()) {
+    idx = free_records_.back();  // already Reset by ReleaseRecord
+    free_records_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back();
   }
-  return cohorts;
+  *slot = idx;  // pool_ growth does not move index_'s slots
+  return pool_[idx];
+}
+
+void CommitEngine::ReleaseRecord(TxnId txn) {
+  const uint32_t* idx = index_.Find(txn);
+  if (idx == nullptr) return;
+  const uint32_t freed = *idx;
+  index_.Erase(txn);
+  pool_[freed].Reset();
+  free_records_.push_back(freed);
 }
 
 void CommitEngine::SendTo(NodeId dst, TxnId txn, MsgType type,
@@ -53,7 +74,7 @@ void CommitEngine::BroadcastDecision(TxnId txn, TxnRecord& rec,
     // Degenerate case: this node never learned the participant list (no
     // Prepare arrived). Tell whoever we know about: the coordinator and any
     // node that answered our termination query.
-    std::unordered_set<NodeId> targets;
+    FlatNodeSet targets;
     if (rec.coordinator != kInvalidNode && rec.coordinator != env_->self()) {
       targets.insert(rec.coordinator);
     }
@@ -73,10 +94,10 @@ void CommitEngine::BroadcastDecision(TxnId txn, TxnRecord& rec,
 // Coordinator side
 // --------------------------------------------------------------------------
 
-void CommitEngine::StartCommit(TxnId txn, std::vector<NodeId> participants,
+void CommitEngine::StartCommit(TxnId txn, CowVector<NodeId> participants,
                                Decision own_vote) {
   ECDB_CHECK(!participants.empty() && participants[0] == env_->self());
-  TxnRecord& rec = records_[txn];
+  TxnRecord& rec = GetOrCreate(txn);
   rec.is_coordinator = true;
   rec.coordinator = env_->self();
   rec.participants = std::move(participants);
@@ -93,19 +114,28 @@ void CommitEngine::StartCommit(TxnId txn, std::vector<NodeId> participants,
   // forwarded decision landed in the ledger. Honor it instead of running
   // the vote; re-deciding could contradict what cohorts already applied.
   if (!decision_ledger_.empty()) {  // empty-check keeps the default path cold
-    const auto prior = decision_ledger_.find(txn);
-    if (prior != decision_ledger_.end()) {
-      CoordinatorDecide(txn, rec, prior->second);
+    const Decision* prior = decision_ledger_.Find(txn);
+    if (prior != nullptr) {
+      CoordinatorDecide(txn, rec, *prior);
       return;
     }
   }
 
-  const std::vector<NodeId> cohorts = Cohorts(rec);
-  if (own_vote == Decision::kAbort || cohorts.empty()) {
+  // Cohorts are everyone in the list but us; iterated in place instead of
+  // materializing a vector per transaction.
+  bool has_cohorts = false;
+  for (NodeId p : rec.participants) {
+    if (p != env_->self()) {
+      has_cohorts = true;
+      break;
+    }
+  }
+  if (own_vote == Decision::kAbort || !has_cohorts) {
     CoordinatorDecide(txn, rec, own_vote);
     return;
   }
-  for (NodeId c : cohorts) {
+  for (NodeId c : rec.participants) {
+    if (c == env_->self()) continue;
     SendTo(c, txn, MsgType::kPrepare, rec);
     rec.votes_pending.insert(c);
   }
@@ -138,7 +168,8 @@ void CommitEngine::CoordinatorAllVotesIn(TxnId txn, TxnRecord& rec) {
     // Extra phase: Prepare-to-Commit, then wait for acknowledgments.
     SetState(txn, rec, CohortState::kPreCommit);
     env_->Log(txn, LogRecordType::kPreCommit);
-    for (NodeId c : Cohorts(rec)) {
+    for (NodeId c : rec.participants) {
+      if (c == env_->self()) continue;
       SendTo(c, txn, MsgType::kPreCommit, rec);
       rec.precommit_acks_pending.insert(c);
     }
@@ -201,8 +232,8 @@ void CommitEngine::OnAck(const Message& msg, TxnRecord& rec) {
 // --------------------------------------------------------------------------
 
 void CommitEngine::ExpectPrepare(TxnId txn, NodeId coordinator,
-                                 std::vector<NodeId> participants) {
-  TxnRecord& rec = records_[txn];
+                                 CowVector<NodeId> participants) {
+  TxnRecord& rec = GetOrCreate(txn);
   if (rec.decided) return;  // decision already arrived (fast path races)
   rec.is_coordinator = false;
   rec.coordinator = coordinator;
@@ -218,11 +249,11 @@ void CommitEngine::OnPrepare(const Message& msg) {
     // Creating a fresh record would re-run the vote and can contradict
     // the applied decision (abort applied, then READY + vote-commit on
     // the resurrected record). Answer from the ledger instead.
-    const auto it = decision_ledger_.find(msg.txn);
-    if (it != decision_ledger_.end()) {
+    const Decision* prior = decision_ledger_.Find(msg.txn);
+    if (prior != nullptr) {
       Message reply;
-      reply.type = it->second == Decision::kCommit ? MsgType::kVoteCommit
-                                                   : MsgType::kVoteAbort;
+      reply.type = *prior == Decision::kCommit ? MsgType::kVoteCommit
+                                               : MsgType::kVoteAbort;
       reply.src = env_->self();
       reply.dst = msg.src;
       reply.txn = msg.txn;
@@ -230,7 +261,7 @@ void CommitEngine::OnPrepare(const Message& msg) {
       return;
     }
   }
-  TxnRecord& rec = records_[msg.txn];
+  TxnRecord& rec = GetOrCreate(msg.txn);
   if (rec.decided) return;
   rec.coordinator = msg.src;
   if (!msg.participants.empty()) rec.participants = msg.participants;
@@ -395,16 +426,16 @@ void CommitEngine::ApplyAndLog(TxnId txn, TxnRecord& rec, Decision decision) {
 }
 
 void CommitEngine::LedgerRecord(TxnId txn, Decision decision) {
-  const auto [it, inserted] = decision_ledger_.try_emplace(txn, decision);
+  const auto [slot, inserted] = decision_ledger_.Emplace(txn, Decision{decision});
   if (!inserted) {
-    it->second = decision;
+    *slot = decision;
     return;
   }
   if (config_.decision_ledger_cap == 0) return;
   ledger_fifo_.push_back(txn);
   while (decision_ledger_.size() > config_.decision_ledger_cap &&
          !ledger_fifo_.empty()) {
-    decision_ledger_.erase(ledger_fifo_.front());
+    decision_ledger_.Erase(ledger_fifo_.front());
     ledger_fifo_.pop_front();
   }
 }
@@ -459,7 +490,7 @@ void CommitEngine::FinishCleanup(TxnId txn, TxnRecord& rec) {
   Trace(TraceEventType::kCleanup, txn);
   env_->CancelTimer(txn);
   env_->OnCleanup(txn);
-  records_.erase(txn);  // `rec` is invalid past this line
+  ReleaseRecord(txn);  // `rec` is Reset and pooled past this line
 }
 
 // --------------------------------------------------------------------------
@@ -539,7 +570,7 @@ void CommitEngine::StartTermination(TxnId txn, TxnRecord& rec) {
   rec.term_replies.clear();
   Trace(TraceEventType::kTermRoundStart, txn, rec.term_attempts);
 
-  std::unordered_set<NodeId> targets;
+  FlatNodeSet targets;
   for (NodeId p : rec.participants) {
     if (p != env_->self()) targets.insert(p);
   }
@@ -554,8 +585,8 @@ void CommitEngine::OnTermElect(const Message& msg) {
   TxnRecord* rec = Find(msg.txn);
   if (rec == nullptr) {
     // Possibly already decided and cleaned up; answer from the ledger.
-    auto it = decision_ledger_.find(msg.txn);
-    if (it == decision_ledger_.end()) {
+    const Decision* prior = decision_ledger_.Find(msg.txn);
+    if (prior == nullptr) {
       if (protocol_ == CommitProtocol::kTwoPhasePresumedAbort) {
         // Presumed abort: no record of the transaction IS the answer.
         // (Sound because PA retains commit records until every cohort
@@ -594,8 +625,8 @@ void CommitEngine::OnTermElect(const Message& msg) {
       return;
     }
     Message reply;
-    reply.type = it->second == Decision::kCommit ? MsgType::kGlobalCommit
-                                                 : MsgType::kGlobalAbort;
+    reply.type = *prior == Decision::kCommit ? MsgType::kGlobalCommit
+                                             : MsgType::kGlobalAbort;
     reply.src = env_->self();
     reply.dst = msg.src;
     reply.txn = msg.txn;
@@ -627,7 +658,13 @@ void CommitEngine::OnTermStateReply(const Message& msg, TxnRecord& rec) {
   if (!msg.participants.empty() && rec.participants.empty()) {
     rec.participants = msg.participants;
   }
-  rec.term_replies[msg.src] = msg;
+  for (auto& [node, reply] : rec.term_replies) {
+    if (node == msg.src) {
+      reply = msg;  // peer re-replied (duplicate election round)
+      return;
+    }
+  }
+  rec.term_replies.emplace_back(msg.src, msg);
 }
 
 void CommitEngine::TerminationEvaluate(TxnId txn, TxnRecord& rec) {
@@ -672,7 +709,7 @@ void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
   // applied, and a restarted node reseeds its decision ledger from the WAL,
   // so a replier that reached a decision always reports it — a full set of
   // decision-free replies proves no decision exists anywhere.
-  std::unordered_set<NodeId> queried;
+  FlatNodeSet queried;
   for (NodeId p : rec.participants) {
     if (p != env_->self()) queried.insert(p);
   }
@@ -790,13 +827,13 @@ void CommitEngine::TerminationLead(TxnId txn, TxnRecord& rec) {
 
 void CommitEngine::Forget(TxnId txn) {
   env_->CancelTimer(txn);
-  records_.erase(txn);
+  ReleaseRecord(txn);
 }
 
 void CommitEngine::ResumeAfterRecovery(TxnId txn, NodeId coordinator,
-                                       std::vector<NodeId> participants,
+                                       CowVector<NodeId> participants,
                                        CohortState state) {
-  TxnRecord& rec = records_[txn];
+  TxnRecord& rec = GetOrCreate(txn);
   rec.is_coordinator = false;
   rec.coordinator = coordinator;
   rec.participants = std::move(participants);
@@ -834,7 +871,7 @@ void CommitEngine::OnMessage(const Message& msg) {
     // the ledger first.
     if (config_.keep_decision_ledger && (msg.type == MsgType::kGlobalCommit ||
                                          msg.type == MsgType::kGlobalAbort)) {
-      if (decision_ledger_.count(msg.txn) != 0) {
+      if (decision_ledger_.Contains(msg.txn)) {
         // Redundant copy of a decision already on record for a cleaned-up
         // transaction — the ledger-side twin of the decided-record fast
         // path in OnGlobalDecision.
@@ -875,9 +912,9 @@ void CommitEngine::OnMessage(const Message& msg) {
 }
 
 std::optional<CommitTxnStatus> CommitEngine::StatusOf(TxnId txn) const {
-  auto it = records_.find(txn);
-  if (it == records_.end()) return std::nullopt;
-  const TxnRecord& rec = it->second;
+  const TxnRecord* found = Find(txn);
+  if (found == nullptr) return std::nullopt;
+  const TxnRecord& rec = *found;
   CommitTxnStatus status;
   status.state = rec.state;
   status.is_coordinator = rec.is_coordinator;
@@ -891,16 +928,17 @@ std::optional<CommitTxnStatus> CommitEngine::StatusOf(TxnId txn) const {
 
 std::vector<TxnId> CommitEngine::BlockedTxns() const {
   std::vector<TxnId> blocked;
-  for (const auto& [txn, rec] : records_) {
-    if (rec.blocked) blocked.push_back(txn);
+  for (const auto& slot : index_) {
+    if (pool_[slot.value].blocked) blocked.push_back(slot.key);
   }
   return blocked;
 }
 
 std::vector<std::pair<TxnId, bool>> CommitEngine::UnresolvedTxns() const {
   std::vector<std::pair<TxnId, bool>> out;
-  for (const auto& [txn, rec] : records_) {
-    if (!rec.decided) out.emplace_back(txn, rec.blocked);
+  for (const auto& slot : index_) {
+    const TxnRecord& rec = pool_[slot.value];
+    if (!rec.decided) out.emplace_back(slot.key, rec.blocked);
   }
   return out;
 }

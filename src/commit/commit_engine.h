@@ -4,8 +4,6 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -13,6 +11,7 @@
 
 #include "commit/commit_env.h"
 #include "common/cow_vector.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "net/message.h"
 #include "trace/trace_recorder.h"
@@ -50,6 +49,9 @@ class FlatNodeSet {
   size_t size() const { return ids_.size(); }
   bool empty() const { return ids_.empty(); }
   void clear() { ids_.clear(); }
+
+  std::vector<NodeId>::const_iterator begin() const { return ids_.begin(); }
+  std::vector<NodeId>::const_iterator end() const { return ids_.end(); }
 
  private:
   std::vector<NodeId> ids_;
@@ -138,15 +140,17 @@ class CommitEngine {
 
   /// Coordinator entry point. `participants` lists every node touching the
   /// transaction with the coordinator (this node) first. `own_vote` is the
-  /// local fragment's vote.
-  void StartCommit(TxnId txn, std::vector<NodeId> participants,
+  /// local fragment's vote. Copy-on-write: a host that already holds the
+  /// list in a CowVector hands over a reference-counted view; plain
+  /// std::vector arguments convert (one copy) at the call site.
+  void StartCommit(TxnId txn, CowVector<NodeId> participants,
                    Decision own_vote);
 
   /// Participant entry point: a fragment of `txn` executed here; the
   /// coordinator will (normally) send Prepare. `participants` is the full
   /// participant list (coordinator first), piggybacked on the fragment.
   void ExpectPrepare(TxnId txn, NodeId coordinator,
-                     std::vector<NodeId> participants);
+                     CowVector<NodeId> participants);
 
   /// Delivers a commit-protocol or termination-protocol message.
   void OnMessage(const Message& msg);
@@ -162,7 +166,7 @@ class CommitEngine {
   /// armed timer fires the termination protocol, which consults the listed
   /// participants for the outcome.
   void ResumeAfterRecovery(TxnId txn, NodeId coordinator,
-                           std::vector<NodeId> participants,
+                           CowVector<NodeId> participants,
                            CohortState state);
 
   /// Delivers the expiration of the timer armed via CommitEnv::ArmTimer.
@@ -189,7 +193,7 @@ class CommitEngine {
   }
 
   /// Number of transactions still tracked (not yet cleaned up).
-  size_t ActiveCount() const { return records_.size(); }
+  size_t ActiveCount() const { return index_.size(); }
 
   /// Total termination-protocol rounds initiated by this node.
   uint64_t termination_rounds() const { return termination_rounds_; }
@@ -253,12 +257,45 @@ class CommitEngine {
     bool recovered = false;  // resumed via ResumeAfterRecovery (Section 4.2)
     bool in_termination = false;
     uint32_t term_attempts = 0;
-    std::unordered_map<NodeId, Message> term_replies;
+    // One reply per peer, deduplicated by sender on insert. A flat vector:
+    // termination queries a handful of peers, replies arrive in network
+    // order (deterministic), and the buffer's capacity survives pooling.
+    std::vector<std::pair<NodeId, Message>> term_replies;
 
     // Phase-latency anchors (observability only; per-node clock).
     Micros start_us = 0;    // coordinator: StartCommit
     Micros ready_us = 0;    // participant: entered READY
     Micros applied_us = 0;  // decision applied locally
+
+    /// Returns the record to its default-constructed state while keeping
+    /// every container's capacity, so a pooled record re-fills without
+    /// allocating. Called when the record is released to the free list —
+    /// not on reuse — so shared message payloads are dropped promptly.
+    void Reset() {
+      is_coordinator = false;
+      coordinator = kInvalidNode;
+      participants.clear();
+      state = CohortState::kInitial;
+      own_vote = Decision::kCommit;
+      votes_pending.clear();
+      commit_voters.clear();
+      precommit_acks_pending.clear();
+      acks_pending.clear();
+      any_vote_abort = false;
+      decided = false;
+      decision = Decision::kAbort;
+      applied = false;
+      blocked = false;
+      cleanup_armed = false;
+      seen_decision_from.clear();
+      recovered = false;
+      in_termination = false;
+      term_attempts = 0;
+      term_replies.clear();
+      start_us = 0;
+      ready_us = 0;
+      applied_us = 0;
+    }
   };
 
   /// After this many fruitless termination rounds a blocked 2PC cohort
@@ -267,6 +304,16 @@ class CommitEngine {
   static constexpr uint32_t kMaxBlockedRetries = 5;
 
   TxnRecord* Find(TxnId txn);
+  const TxnRecord* Find(TxnId txn) const;
+
+  /// Looks up `txn`'s record, creating (from the pool's free list when
+  /// possible) a fresh one if absent. References into the pool are stable
+  /// across later insertions — the pool is a deque — matching the
+  /// unordered_map semantics the protocol code was written against.
+  TxnRecord& GetOrCreate(TxnId txn);
+
+  /// Unlinks `txn`'s record and pushes it, Reset, onto the free list.
+  void ReleaseRecord(TxnId txn);
 
   /// Records a protocol trace event if a recorder is attached and enabled
   /// (two predictable branches on the disabled path; compiled out entirely
@@ -285,7 +332,6 @@ class CommitEngine {
     rec.state = next;
   }
 
-  std::vector<NodeId> Cohorts(const TxnRecord& rec) const;
   void SendTo(NodeId dst, TxnId txn, MsgType type, const TxnRecord& rec,
               bool forwarded = false);
   void BroadcastDecision(TxnId txn, TxnRecord& rec, bool forwarded);
@@ -360,8 +406,21 @@ class CommitEngine {
   CommitEnv* env_;
   CommitEngineConfig config_;
   TraceRecorder* trace_ = nullptr;
-  std::unordered_map<TxnId, TxnRecord> records_;
-  std::unordered_map<TxnId, Decision> decision_ledger_;
+
+  // Record storage is pooled: `index_` maps txn -> slot in `pool_`, and
+  // cleaned-up slots go onto `free_records_` for reuse with their
+  // containers' capacity intact. In steady state (bounded concurrent
+  // transactions) the per-transaction bookkeeping allocates nothing — the
+  // unordered_map this replaces paid a node allocation per transaction
+  // plus rehash churn, which showed up directly in the threaded runtime's
+  // throughput profile. The deque keeps records at stable addresses, so
+  // `TxnRecord&` references obtained before an unrelated insert stay valid
+  // (the protocol code relies on that, as it did with unordered_map).
+  FlatMap<TxnId, uint32_t> index_;
+  std::deque<TxnRecord> pool_;
+  std::vector<uint32_t> free_records_;
+
+  FlatMap<TxnId, Decision> decision_ledger_;
   std::deque<TxnId> ledger_fifo_;  // insertion order, drives cap eviction
   uint64_t termination_rounds_ = 0;
   uint64_t conflicting_decisions_ = 0;

@@ -1,5 +1,6 @@
 #include "commit/invariants.h"
 
+#include <algorithm>
 #include <optional>
 
 namespace ecdb {
@@ -38,51 +39,77 @@ bool CanCoexist(StateClass a, StateClass b) {
 }
 
 void SafetyMonitor::RecordApplied(TxnId txn, NodeId node, Decision decision) {
-  std::lock_guard<std::mutex> lock(mu_);
-  PerTxn& per = txns_[txn];
-  per.applied[node] = decision;
-  for (const auto& [other, d] : per.applied) {
-    if (d != decision) {
+  Stripe& stripe = StripeFor(txn);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  PerTxn& per = stripe.txns[txn];
+  bool found = false;
+  for (auto& [other, d] : per.applied) {
+    if (other == node) {
+      d = decision;
+      found = true;
+    } else if (d != decision) {
       per.conflict = true;
-      break;
     }
   }
+  if (!found) per.applied.emplace_back(node, decision);
 }
 
 void SafetyMonitor::RecordBlocked(TxnId txn, NodeId node) {
   (void)node;
-  std::lock_guard<std::mutex> lock(mu_);
-  blocked_reports_++;
-  blocked_txns_[txn]++;
+  Stripe& stripe = StripeFor(txn);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.blocked_reports++;
+  stripe.blocked[txn]++;
 }
 
 std::vector<TxnId> SafetyMonitor::Violations() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TxnId> out;
-  for (const auto& [txn, per] : txns_) {
-    if (per.conflict) out.push_back(txn);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& slot : stripe.txns) {
+      if (slot.value.conflict) out.push_back(slot.key);
+    }
   }
   return out;
 }
 
+uint64_t SafetyMonitor::blocked_reports() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.blocked_reports;
+  }
+  return total;
+}
+
+size_t SafetyMonitor::BlockedTxnCount() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.blocked.size();
+  }
+  return total;
+}
+
 std::optional<Decision> SafetyMonitor::DecisionOf(TxnId txn,
                                                   NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) return std::nullopt;
-  auto nit = it->second.applied.find(node);
-  if (nit == it->second.applied.end()) return std::nullopt;
-  return nit->second;
+  const Stripe& stripe = StripeFor(txn);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const PerTxn* per = stripe.txns.Find(txn);
+  if (per == nullptr) return std::nullopt;
+  for (const auto& [other, d] : per->applied) {
+    if (other == node) return d;
+  }
+  return std::nullopt;
 }
 
 std::vector<std::pair<NodeId, Decision>> SafetyMonitor::AppliedFor(
     TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::pair<NodeId, Decision>> out;
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) return out;
-  for (const auto& [node, d] : it->second.applied) out.emplace_back(node, d);
-  return out;
+  const Stripe& stripe = StripeFor(txn);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const PerTxn* per = stripe.txns.Find(txn);
+  if (per == nullptr) return {};
+  return per->applied;
 }
 
 }  // namespace ecdb

@@ -1,13 +1,14 @@
 #ifndef ECDB_COMMIT_INVARIANTS_H_
 #define ECDB_COMMIT_INVARIANTS_H_
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "net/message.h"
 
@@ -38,6 +39,16 @@ bool CanCoexist(StateClass a, StateClass b);
 /// forwarding ablation feed this monitor; any violation under plain
 /// EC/2PC/3PC with node failures is a bug. Thread-safe: the threaded
 /// runtime records from every node thread concurrently.
+///
+/// Striped by transaction id: each node's lock table and commit engine are
+/// single-thread-owned (one OS thread per node), so this monitor is the
+/// one structure every node thread writes on every applied decision — the
+/// actual cross-thread serialization point of the threaded runtime. One
+/// global mutex here put every committing thread in one convoy; hashing
+/// the txn id onto independent stripes lets decisions for different
+/// transactions record in parallel, while both appliers of the *same*
+/// transaction still land on one stripe — which is exactly the pair the
+/// conflict check must observe together.
 class SafetyMonitor {
  public:
   /// Reports that `node` applied `decision` for `txn`.
@@ -50,16 +61,10 @@ class SafetyMonitor {
   std::vector<TxnId> Violations() const;
 
   /// Total (txn, node) blocked reports.
-  uint64_t blocked_reports() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return blocked_reports_;
-  }
+  uint64_t blocked_reports() const;
 
   /// Distinct transactions with at least one blocked node.
-  size_t BlockedTxnCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return blocked_txns_.size();
-  }
+  size_t BlockedTxnCount() const;
 
   /// Decision applied by `node` for `txn`, if recorded.
   std::optional<Decision> DecisionOf(TxnId txn, NodeId node) const;
@@ -69,13 +74,30 @@ class SafetyMonitor {
 
  private:
   struct PerTxn {
-    std::unordered_map<NodeId, Decision> applied;
+    // A transaction has tens of appliers at most; a flat vector keyed by
+    // linear scan beats a per-txn hash map and never allocates per insert
+    // once grown.
+    std::vector<std::pair<NodeId, Decision>> applied;
     bool conflict = false;
   };
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, PerTxn> txns_;
-  std::unordered_map<TxnId, uint64_t> blocked_txns_;
-  uint64_t blocked_reports_ = 0;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    FlatMap<TxnId, PerTxn> txns;
+    FlatMap<TxnId, uint64_t> blocked;
+    uint64_t blocked_reports = 0;
+  };
+
+  static constexpr size_t kStripes = 16;  // power of two, masks cheaply
+
+  const Stripe& StripeFor(TxnId txn) const {
+    return stripes_[FlatHash<TxnId>{}(txn) & (kStripes - 1)];
+  }
+  Stripe& StripeFor(TxnId txn) {
+    return stripes_[FlatHash<TxnId>{}(txn) & (kStripes - 1)];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace ecdb

@@ -179,8 +179,10 @@ class ProtocolTestbed {
  public:
   ProtocolTestbed(CommitProtocol protocol, uint32_t num_nodes,
                   NetworkConfig net = {}, CommitEngineConfig commit = {},
-                  uint64_t seed = 7)
+                  uint64_t seed = 7,
+                  SchedulerBackend backend = SchedulerBackend::kHeap)
       : network_(&scheduler_, net, seed) {
+    scheduler_.SetBackend(backend);
     for (NodeId id = 0; id < num_nodes; ++id) {
       hosts_.push_back(std::make_unique<ProtocolHost>(
           id, protocol, &scheduler_, &network_, &monitor_, commit));
@@ -191,8 +193,13 @@ class ProtocolTestbed {
   /// coordinated by node 0. Returns the txn id.
   TxnId StartAll(Decision coordinator_vote = Decision::kCommit) {
     const TxnId txn = MakeTxnId(0, ++seq_);
-    std::vector<NodeId> participants;
-    for (NodeId id = 0; id < hosts_.size(); ++id) participants.push_back(id);
+    // One copy-on-write buffer, shared by all n engine records — at large
+    // n a per-host deep copy would be O(n^2) bytes per round.
+    CowVector<NodeId> participants;
+    {
+      std::vector<NodeId>& p = participants.Mutable();
+      for (NodeId id = 0; id < hosts_.size(); ++id) p.push_back(id);
+    }
     for (NodeId id = 1; id < hosts_.size(); ++id) {
       hosts_[id]->engine().ExpectPrepare(txn, 0, participants);
     }

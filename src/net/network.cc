@@ -20,7 +20,7 @@ bool SimNetwork::LinkDown(NodeId a, NodeId b) const {
   if (links_down_.empty()) return false;
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
-  return links_down_.count(LinkKey(lo, hi)) > 0;
+  return links_down_.Contains(LinkKey(lo, hi));
 }
 
 Micros SimNetwork::SampleLatency(const Message& msg, size_t bytes) {
@@ -33,8 +33,8 @@ Micros SimNetwork::SampleLatency(const Message& msg, size_t bytes) {
                                    static_cast<double>(bytes));
   }
   if (!extra_delay_.empty()) {
-    auto it = extra_delay_.find(LinkKey(msg.src, msg.dst));
-    if (it != extra_delay_.end()) latency += it->second;
+    const Micros* extra = extra_delay_.Find(LinkKey(msg.src, msg.dst));
+    if (extra != nullptr) latency += *extra;
   }
   return latency;
 }
@@ -107,11 +107,11 @@ void SimNetwork::EnableCoalescing(bool on) {
 }
 
 void SimNetwork::AppendToFrame(Message msg) {
-  if (msg.src >= link_stride_ || msg.dst >= link_stride_) {
-    GrowLinkTable(std::max(msg.src, msg.dst) + 1);
-  }
-  LinkSlot& slot =
-      slot_by_link_[static_cast<size_t>(msg.src) * link_stride_ + msg.dst];
+  // One hash probe per message: an existing live entry means this step
+  // already opened a frame on the link. The table holds only links that
+  // ever carried coalesced traffic — O(active links), not O(n^2) — and a
+  // flush invalidates all entries at once via the epoch stamp.
+  LinkSlot& slot = slot_by_link_[LinkKey(msg.src, msg.dst)];
   if (slot.epoch == flush_epoch_) {
     open_frames_[slot.idx].frame.messages.push_back(std::move(msg));
     return;
@@ -123,21 +123,6 @@ void SimNetwork::AppendToFrame(Message msg) {
   of.frame.src = msg.src;
   of.frame.dst = msg.dst;
   of.frame.messages.push_back(std::move(msg));
-}
-
-void SimNetwork::GrowLinkTable(uint32_t min_stride) {
-  uint32_t stride = link_stride_ == 0 ? 8 : link_stride_;
-  while (stride < min_stride) stride *= 2;
-  std::vector<LinkSlot> table(static_cast<size_t>(stride) * stride);
-  // Re-point the live entries for this step's open frames (growth can land
-  // mid-step when a new node id first appears).
-  for (size_t i = 0; i < num_open_; ++i) {
-    const MessageFrame& f = open_frames_[i].frame;
-    table[static_cast<size_t>(f.src) * stride + f.dst] = {
-        flush_epoch_, static_cast<uint32_t>(i)};
-  }
-  slot_by_link_ = std::move(table);
-  link_stride_ = stride;
 }
 
 Micros SimNetwork::FrameLatency(const MessageFrame& frame) {
@@ -152,8 +137,8 @@ Micros SimNetwork::FrameLatency(const MessageFrame& frame) {
                                    static_cast<double>(frame.WireBytes()));
   }
   if (!extra_delay_.empty()) {
-    auto it = extra_delay_.find(LinkKey(frame.src, frame.dst));
-    if (it != extra_delay_.end()) latency += it->second;
+    const Micros* extra = extra_delay_.Find(LinkKey(frame.src, frame.dst));
+    if (extra != nullptr) latency += *extra;
   }
   return latency;
 }
@@ -255,15 +240,15 @@ void SimNetwork::SetLinkDown(NodeId a, NodeId b, bool down) {
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
   if (down) {
-    links_down_.insert(LinkKey(lo, hi));
+    links_down_[LinkKey(lo, hi)] = 1;
   } else {
-    links_down_.erase(LinkKey(lo, hi));
+    links_down_.Erase(LinkKey(lo, hi));
   }
 }
 
 void SimNetwork::SetExtraDelay(NodeId a, NodeId b, Micros extra_us) {
   if (extra_us == 0) {
-    extra_delay_.erase(LinkKey(a, b));
+    extra_delay_.Erase(LinkKey(a, b));
   } else {
     extra_delay_[LinkKey(a, b)] = extra_us;
   }

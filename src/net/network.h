@@ -4,10 +4,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/frame.h"
@@ -179,9 +178,9 @@ class SimNetwork {
     MessageFrame frame;
   };
 
-  /// (src,dst) -> open-frame slot for the current step. Epoch-stamped so a
-  /// flush invalidates the whole table in O(1); an entry is live only when
-  /// its epoch matches `flush_epoch_`. A batched delivery event runs every
+  /// Open-frame slot for one (src,dst) link. Epoch-stamped so a flush
+  /// invalidates every entry in O(1); an entry is live only when its epoch
+  /// matches `flush_epoch_`. A batched delivery event runs every
   /// recipient's handler in one scheduler step, so a single step can open
   /// O(n^2) frames (the EC transmit phase) — lookup must be O(1), not a
   /// scan over open frames.
@@ -202,7 +201,6 @@ class SimNetwork {
   Micros FrameLatency(const MessageFrame& frame);
   bool LinkDown(NodeId a, NodeId b) const;
   void AppendToFrame(Message msg);
-  void GrowLinkTable(uint32_t min_stride);
   void FlushCoalesced();
   void DeliverBatch(uint32_t batch_idx);
   uint32_t AcquireFlightBatch();
@@ -220,8 +218,12 @@ class SimNetwork {
   Rng rng_;
   std::vector<Handler> handlers_;    // indexed by NodeId
   std::vector<uint8_t> crashed_;     // indexed by NodeId; 1 = down
-  std::unordered_set<uint64_t> links_down_;         // undirected, min/max key
-  std::unordered_map<uint64_t, Micros> extra_delay_;  // directed
+  // All per-link state is keyed by packed (src,dst) and sized by *active*
+  // links — links that actually carried traffic or were explicitly faulted
+  // — never by num_nodes^2. (The previous stride^2 slot table cost 268 MB
+  // at n=4096 before a single message moved.)
+  FlatMap<uint64_t, uint8_t> links_down_;    // undirected, min/max key
+  FlatMap<uint64_t, Micros> extra_delay_;    // directed
   DeliveryInterceptor interceptor_;
   SendFilter send_filter_;
   NetworkStats stats_;
@@ -229,8 +231,7 @@ class SimNetwork {
   bool coalesce_ = false;
   std::vector<OpenFrame> open_frames_;  // [0, num_open_) are this step's
   size_t num_open_ = 0;
-  std::vector<LinkSlot> slot_by_link_;  // link_stride_^2, (src,dst)-indexed
-  uint32_t link_stride_ = 0;
+  FlatMap<uint64_t, LinkSlot> slot_by_link_;  // links with traffic, ever
   uint64_t flush_epoch_ = 1;
   std::vector<FlightBatch> flight_;
   std::vector<uint32_t> free_flight_;

@@ -1,6 +1,7 @@
 #ifndef ECDB_SIM_SCHEDULER_H_
 #define ECDB_SIM_SCHEDULER_H_
 
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -9,6 +10,22 @@
 #include "sim/task.h"
 
 namespace ecdb {
+
+/// Event-queue implementation behind the Scheduler. Both back ends honor
+/// the same contract — events fire in exact (time, insertion-order) order —
+/// so a run is bit-identical under either; they differ only in complexity:
+///
+///  * kHeap: hand-rolled 4-ary heap, O(log n) per event with a very small
+///    constant. Best at the scale the protocol tests and small clusters
+///    run at, and the default.
+///  * kTimerWheel: hierarchical timer wheel (6 levels x 64 slots), O(1)
+///    amortized schedule/dispatch. At 10^4 nodes a single broadcast step
+///    keeps millions of events pending; the heap's log factor (and its
+///    sift traffic) dominates there, the wheel does not.
+enum class SchedulerBackend : uint8_t {
+  kHeap,
+  kTimerWheel,
+};
 
 /// Deterministic discrete-event scheduler: the heart of the simulated
 /// cluster. Events fire in (time, insertion-order) order, so two runs with
@@ -19,9 +36,11 @@ namespace ecdb {
 /// Implementation notes (this is the hottest structure in the repo — every
 /// simulated message and timer passes through it twice):
 ///
-///  * The priority queue is a hand-rolled 4-ary heap of 24-byte POD
-///    entries; sift operations are plain copies, and the four children of
-///    a node share at most two cache lines.
+///  * The default priority queue is a hand-rolled 4-ary heap of 24-byte
+///    POD entries; sift operations are plain copies, and the four children
+///    of a node share at most two cache lines. A hierarchical timer-wheel
+///    backend (see SchedulerBackend) can be selected for very large
+///    simulations; it preserves the exact event order.
 ///  * Tasks live inline in generation-counted slots (an append-grown array
 ///    recycled through a free list), so scheduling an event performs no
 ///    hashing, no rehash, and — for callables that fit TaskFn's inline
@@ -30,7 +49,7 @@ namespace ecdb {
 ///    paid a node allocation and a hash insert/erase per event.
 ///  * `ScheduleAt` is a template so the callable is constructed directly in
 ///    its slot; the hot path lives in this header to inline into callers.
-///  * `Cancel` is O(1): bumping the slot's generation invalidates the heap
+///  * `Cancel` is O(1): bumping the slot's generation invalidates the queue
 ///    entry in place (it is skipped lazily at pop time) and destroys the
 ///    captured state eagerly, matching the old map-erase semantics.
 class Scheduler {
@@ -44,6 +63,12 @@ class Scheduler {
 
   /// Current simulated time in microseconds.
   Micros Now() const { return now_; }
+
+  /// Selects the event-queue backend. Only legal while no events are
+  /// pending (typically right after construction): the two structures do
+  /// not share entries, so switching mid-run would strand events.
+  void SetBackend(SchedulerBackend backend);
+  SchedulerBackend backend() const { return backend_; }
 
   /// Schedules `task` to run at absolute simulated time `when` (clamped to
   /// now). Returns an id usable with `Cancel`; ids are never zero.
@@ -61,8 +86,13 @@ class Scheduler {
     Slot& s = slots_[slot];
     s.task = std::forward<F>(task);  // constructs in place (TaskFn assign)
     const TaskId id = (static_cast<TaskId>(slot) << 32) | s.gen;
-    heap_.push_back(Entry{when, next_seq_++, id});
-    SiftUp(heap_.size() - 1);
+    const Entry e{when, next_seq_++, id};
+    if (backend_ == SchedulerBackend::kHeap) {
+      heap_.push_back(e);
+      SiftUp(heap_.size() - 1);
+    } else {
+      WheelInsert(e);
+    }
     ++live_count_;
     return id;
   }
@@ -80,7 +110,7 @@ class Scheduler {
     if (slot >= slots_.size() || slots_[slot].gen != GenOf(id)) {
       return false;  // already ran, already cancelled, or never issued
     }
-    // Lazy cancellation: the heap entry stays (skipped at pop time via the
+    // Lazy cancellation: the queue entry stays (skipped at pop time via the
     // generation check) but the task is destroyed now, so captured
     // resources are released immediately. Keeps Cancel O(1).
     slots_[slot].task = Task();
@@ -126,7 +156,7 @@ class Scheduler {
   size_t PendingCount() const { return live_count_; }
 
  private:
-  /// Heap entry: trivially copyable so sifts are raw 24-byte moves. `seq`
+  /// Queue entry: trivially copyable so moves are raw 24-byte copies. `seq`
   /// is a global insertion counter giving FIFO order among same-time
   /// events; `id` packs (slot << 32) | generation.
   struct Entry {
@@ -136,12 +166,19 @@ class Scheduler {
   };
 
   /// Task storage. The generation is bumped whenever the slot's task runs
-  /// or is cancelled, so stale heap entries (and stale TaskIds held by
+  /// or is cancelled, so stale queue entries (and stale TaskIds held by
   /// callers) are recognized in O(1) without a lookup table.
   struct Slot {
     uint32_t gen = 1;  // never 0: TaskId 0 stays an "unset" sentinel
     Task task;
   };
+
+  // Timer-wheel geometry: 6 levels x 64 slots covers 2^36 us (~19 hours of
+  // simulated time) from the anchor before the overflow list engages.
+  static constexpr size_t kWheelLevels = 6;
+  static constexpr unsigned kSlotBits = 6;
+  static constexpr size_t kSlotsPerLevel = size_t{1} << kSlotBits;
+  static constexpr uint64_t kSlotMask = kSlotsPerLevel - 1;
 
   static bool Earlier(const Entry& a, const Entry& b) {
     if (a.when != b.when) return a.when < b.when;
@@ -151,16 +188,23 @@ class Scheduler {
   static uint32_t SlotOf(TaskId id) { return static_cast<uint32_t>(id >> 32); }
   static uint32_t GenOf(TaskId id) { return static_cast<uint32_t>(id); }
 
-  /// The single cancelled-entry skip point: pops stale heads until the top
-  /// of the heap is a live event (or the heap drains). Every pop path —
+  bool LiveEntry(const Entry& e) const {
+    return slots_[SlotOf(e.id)].gen == GenOf(e.id);
+  }
+
+  /// The single cancelled-entry skip point: discards stale entries until
+  /// the next pending event is live (or the queue drains). Every pop path —
   /// RunOne, RunUntil, RunAll — funnels through here.
   const Entry* PeekLive() {
-    while (!heap_.empty()) {
-      const Entry& head = heap_[0];
-      if (slots_[SlotOf(head.id)].gen == GenOf(head.id)) return &head;
-      PopHeap();  // stale: cancelled (or slot since recycled)
+    if (backend_ == SchedulerBackend::kHeap) {
+      while (!heap_.empty()) {
+        const Entry& head = heap_[0];
+        if (LiveEntry(head)) return &head;
+        PopHeap();  // stale: cancelled (or slot since recycled)
+      }
+      return nullptr;
     }
-    return nullptr;
+    return PeekLiveWheel();
   }
 
   /// Pops the (live) head, retires its slot, and runs its task.
@@ -170,12 +214,17 @@ class Scheduler {
   /// cancelling the running task's own id during execution fails, exactly
   /// as with the old erase-then-invoke sequence.
   void RunHead() {
-    const Entry head = heap_[0];
+    Entry head;
+    if (backend_ == SchedulerBackend::kHeap) {
+      head = heap_[0];
+      PopHeap();
+    } else {
+      head = staged_[staged_pos_++];
+    }
     const uint32_t slot = SlotOf(head.id);
     now_ = head.when;
     RetireSlot(slot);
     --live_count_;
-    PopHeap();
     slots_[slot].task.ConsumeInvoke();
   }
 
@@ -228,15 +277,38 @@ class Scheduler {
     heap_[i] = e;
   }
 
+  // --- Timer-wheel backend (see scheduler.cc for the ordering argument) ---
+  void WheelInsert(const Entry& e);
+  void WheelRoute(const Entry& e);
+  const Entry* PeekLiveWheel();
+  bool StageNext();
+  bool RebaseOverflow();
+  void RewindTo(Micros t);
+
   void (*post_step_hook_)(void*) = nullptr;
   void* post_step_ctx_ = nullptr;
 
+  SchedulerBackend backend_ = SchedulerBackend::kHeap;
   Micros now_ = 0;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
+
+  // Wheel state. `wheel_cur_` is the routing anchor: every entry in level
+  // `l` agrees with it on all bits above the level's window, every entry in
+  // `overflow_` disagrees with it in the top window. `staged_` holds the
+  // earliest level-0 bucket (one distinct timestamp), sorted by seq;
+  // entries are consumed through `staged_pos_`.
+  Micros wheel_cur_ = 0;
+  std::array<uint64_t, kWheelLevels> occupied_{};
+  std::array<std::array<std::vector<Entry>, kSlotsPerLevel>, kWheelLevels>
+      wheel_;
+  std::vector<Entry> overflow_;
+  std::vector<Entry> staged_;
+  size_t staged_pos_ = 0;
+  std::vector<Entry> wheel_scratch_;
 };
 
 }  // namespace ecdb

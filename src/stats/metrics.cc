@@ -28,6 +28,9 @@ void NodeStats::Merge(const NodeStats& other) {
   txns_blocked += other.txns_blocked;
   commit_protocol_runs += other.commit_protocol_runs;
   termination_rounds += other.termination_rounds;
+  open_loop_offered += other.open_loop_offered;
+  open_loop_rejected += other.open_loop_rejected;
+  open_loop_aborted += other.open_loop_aborted;
   for (size_t i = 0; i < kNumTimeCategories; ++i) {
     time_us[i] += other.time_us[i];
   }
@@ -43,6 +46,9 @@ void NodeStats::Clear() {
   txns_blocked = 0;
   commit_protocol_runs = 0;
   termination_rounds = 0;
+  open_loop_offered = 0;
+  open_loop_rejected = 0;
+  open_loop_aborted = 0;
   time_us.fill(0);
   latency.Clear();
   phase_vote.Clear();

@@ -38,6 +38,15 @@ struct NodeStats {
   /// (nonzero only under failures or very aggressive timeouts).
   uint64_t termination_rounds = 0;
 
+  /// Open-loop load accounting (all zero under the closed loop). Every
+  /// arrival is counted exactly once as offered and ends in exactly one of
+  /// three ways — committed, rejected at admission, or terminally aborted
+  /// (retry budget exhausted, quiesce drained it, or a crash killed it) —
+  /// so at drain time: offered == committed + rejected + terminal aborts.
+  uint64_t open_loop_offered = 0;
+  uint64_t open_loop_rejected = 0;
+  uint64_t open_loop_aborted = 0;  // terminal (not per-attempt) aborts
+
   /// Microseconds of worker time per category (Figure 12).
   std::array<uint64_t, kNumTimeCategories> time_us{};
 
@@ -91,6 +100,15 @@ struct ClusterStats {
   uint64_t net_messages_coalesced = 0;
   uint64_t duplicate_decisions_suppressed = 0;
   uint64_t wal_group_flushes = 0;
+
+  /// Offered (open-loop arrival) transactions per second of (simulated)
+  /// time; 0 under the closed loop.
+  double OfferedRate() const {
+    return duration_seconds > 0
+               ? static_cast<double>(total.open_loop_offered) /
+                     duration_seconds
+               : 0.0;
+  }
 
   /// Committed transactions per second of (simulated) time.
   double Throughput() const {

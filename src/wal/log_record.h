@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "common/cow_vector.h"
 #include "common/types.h"
 
 namespace ecdb {
@@ -40,7 +40,10 @@ struct LogRecord {
   /// Participant list (coordinator first), recorded with begin_commit and
   /// ready entries so a recovering node in the consult-peers case knows
   /// whom to ask (Section 4.2 requires contacting other participants).
-  std::vector<NodeId> participants;
+  /// Copy-on-write: staging a WAL record shares the transaction's existing
+  /// list (one refcount bump) instead of deep-copying it per log entry —
+  /// the last per-transaction allocation on the commit hot path.
+  CowVector<NodeId> participants;
 
   friend bool operator==(const LogRecord&, const LogRecord&) = default;
 };

@@ -55,12 +55,15 @@ struct TraceResult {
 // loss/jitter are drawn once per frame, in frame-creation order (see the
 // coalesced golden below for why that makes this scenario's trace coincide
 // with the uncoalesced one).
-TraceResult RunGoldenScenario(bool coalesce = false) {
+TraceResult RunGoldenScenario(bool coalesce = false,
+                              SchedulerBackend backend =
+                                  SchedulerBackend::kHeap) {
   NetworkConfig net;
   net.base_latency_us = 400;
   net.jitter_us = 100;
   CommitEngineConfig commit;
-  ProtocolTestbed bed(CommitProtocol::kEasyCommit, 5, net, commit, 20180326);
+  ProtocolTestbed bed(CommitProtocol::kEasyCommit, 5, net, commit, 20180326,
+                      backend);
   if (coalesce) bed.network().EnableCoalescing(true);
 
   TraceResult r;
@@ -165,6 +168,35 @@ TEST(DeterminismTest, CoalescedRunsReplayIdentically) {
   EXPECT_EQ(a.final_now, b.final_now);
   EXPECT_EQ(a.stats.frames_sent, b.stats.frames_sent);
   EXPECT_EQ(a.stats.messages_coalesced, b.stats.messages_coalesced);
+}
+
+// The same golden scenario under the timer-wheel scheduler backend: the
+// complete delivery sequence, hash and clock must be *bit-identical* to
+// the heap's. This is the acceptance gate for the wheel — selecting it may
+// change no observable event order anywhere.
+TEST(DeterminismTest, TimerWheelBackendMatchesGoldenExactly) {
+  const TraceResult heap = RunGoldenScenario();
+  const TraceResult wheel =
+      RunGoldenScenario(/*coalesce=*/false, SchedulerBackend::kTimerWheel);
+  EXPECT_EQ(wheel.deliveries.size(), 84u);
+  EXPECT_EQ(wheel.hash, 3149154581355681350ULL);
+  EXPECT_EQ(wheel.final_now, 5769u);
+  EXPECT_EQ(heap.deliveries, wheel.deliveries);
+  EXPECT_EQ(heap.hash, wheel.hash);
+  EXPECT_EQ(heap.stats.messages_sent, wheel.stats.messages_sent);
+  EXPECT_EQ(heap.stats.bytes_sent, wheel.stats.bytes_sent);
+}
+
+// Wheel + coalescing transport together (the configuration the large-n
+// benchmarks run): still the golden trace.
+TEST(DeterminismTest, TimerWheelCoalescedMatchesGoldenExactly) {
+  const TraceResult wheel =
+      RunGoldenScenario(/*coalesce=*/true, SchedulerBackend::kTimerWheel);
+  EXPECT_EQ(wheel.deliveries.size(), 84u);
+  EXPECT_EQ(wheel.hash, 3149154581355681350ULL);
+  EXPECT_EQ(wheel.stats.frames_sent, 84u);
+  EXPECT_EQ(wheel.stats.messages_coalesced, 0u);
+  EXPECT_EQ(wheel.final_now, 5769u);
 }
 
 // Same seed, fresh testbed: the complete event sequence must be

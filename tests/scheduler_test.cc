@@ -1,11 +1,20 @@
 // Unit tests for the discrete-event scheduler.
+//
+// Every behavioral test runs under both event-queue backends (4-ary heap
+// and hierarchical timer wheel): the backends must be observationally
+// identical — same (time, insertion-order) execution order, same Cancel
+// semantics — so the whole suite is parameterized. The stress tests at the
+// bottom additionally run the *same* randomized scenario against both
+// backends and require the exact event sequences to match.
 
 #include "sim/scheduler.h"
 
 #include <algorithm>
 #include <array>
+#include <functional>
 #include <memory>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,14 +22,18 @@
 namespace ecdb {
 namespace {
 
-TEST(SchedulerTest, StartsAtZero) {
+class SchedulerBackendTest : public ::testing::TestWithParam<SchedulerBackend> {
+ protected:
+  SchedulerBackendTest() { s.SetBackend(GetParam()); }
   Scheduler s;
+};
+
+TEST_P(SchedulerBackendTest, StartsAtZero) {
   EXPECT_EQ(s.Now(), 0u);
   EXPECT_TRUE(s.Empty());
 }
 
-TEST(SchedulerTest, RunsEventsInTimeOrder) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunsEventsInTimeOrder) {
   std::vector<int> order;
   s.ScheduleAt(30, [&] { order.push_back(3); });
   s.ScheduleAt(10, [&] { order.push_back(1); });
@@ -30,8 +43,7 @@ TEST(SchedulerTest, RunsEventsInTimeOrder) {
   EXPECT_EQ(s.Now(), 30u);
 }
 
-TEST(SchedulerTest, SameTimeEventsRunFifo) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, SameTimeEventsRunFifo) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     s.ScheduleAt(5, [&order, i] { order.push_back(i); });
@@ -40,16 +52,14 @@ TEST(SchedulerTest, SameTimeEventsRunFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(SchedulerTest, ClockAdvancesToEventTime) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, ClockAdvancesToEventTime) {
   Micros seen = 0;
   s.ScheduleAfter(100, [&] { seen = s.Now(); });
   s.RunOne();
   EXPECT_EQ(seen, 100u);
 }
 
-TEST(SchedulerTest, ScheduleAfterIsRelative) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, ScheduleAfterIsRelative) {
   s.ScheduleAt(50, [] {});
   s.RunOne();
   Micros seen = 0;
@@ -58,8 +68,7 @@ TEST(SchedulerTest, ScheduleAfterIsRelative) {
   EXPECT_EQ(seen, 75u);
 }
 
-TEST(SchedulerTest, PastTimesClampToNow) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, PastTimesClampToNow) {
   s.ScheduleAt(100, [] {});
   s.RunOne();
   Micros seen = 0;
@@ -68,8 +77,7 @@ TEST(SchedulerTest, PastTimesClampToNow) {
   EXPECT_EQ(seen, 100u);
 }
 
-TEST(SchedulerTest, CancelPreventsExecution) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, CancelPreventsExecution) {
   bool ran = false;
   const auto id = s.ScheduleAfter(10, [&] { ran = true; });
   EXPECT_TRUE(s.Cancel(id));
@@ -77,22 +85,19 @@ TEST(SchedulerTest, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
-TEST(SchedulerTest, CancelReturnsFalseTwice) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, CancelReturnsFalseTwice) {
   const auto id = s.ScheduleAfter(10, [] {});
   EXPECT_TRUE(s.Cancel(id));
   EXPECT_FALSE(s.Cancel(id));
 }
 
-TEST(SchedulerTest, CancelAfterRunReturnsFalse) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, CancelAfterRunReturnsFalse) {
   const auto id = s.ScheduleAfter(10, [] {});
   s.RunAll();
   EXPECT_FALSE(s.Cancel(id));
 }
 
-TEST(SchedulerTest, RunUntilExecutesOnlyDueEvents) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunUntilExecutesOnlyDueEvents) {
   int ran = 0;
   s.ScheduleAt(10, [&] { ran++; });
   s.ScheduleAt(20, [&] { ran++; });
@@ -103,14 +108,12 @@ TEST(SchedulerTest, RunUntilExecutesOnlyDueEvents) {
   EXPECT_EQ(s.PendingCount(), 1u);
 }
 
-TEST(SchedulerTest, RunUntilAdvancesClockWhenIdle) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunUntilAdvancesClockWhenIdle) {
   s.RunUntil(500);
   EXPECT_EQ(s.Now(), 500u);
 }
 
-TEST(SchedulerTest, RunUntilSkipsCancelledHead) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunUntilSkipsCancelledHead) {
   bool ran = false;
   const auto id = s.ScheduleAt(10, [] {});
   s.ScheduleAt(20, [&] { ran = true; });
@@ -119,8 +122,7 @@ TEST(SchedulerTest, RunUntilSkipsCancelledHead) {
   EXPECT_TRUE(ran);
 }
 
-TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, EventsMayScheduleMoreEvents) {
   std::vector<Micros> times;
   std::function<void()> chain = [&] {
     times.push_back(s.Now());
@@ -131,20 +133,17 @@ TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
   EXPECT_EQ(times, (std::vector<Micros>{10, 20, 30, 40, 50}));
 }
 
-TEST(SchedulerTest, RunAllHonorsEventCap) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunAllHonorsEventCap) {
   std::function<void()> forever = [&] { s.ScheduleAfter(1, forever); };
   s.ScheduleAfter(1, forever);
   EXPECT_EQ(s.RunAll(100), 100u);
 }
 
-TEST(SchedulerTest, RunOneReturnsFalseWhenEmpty) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunOneReturnsFalseWhenEmpty) {
   EXPECT_FALSE(s.RunOne());
 }
 
-TEST(SchedulerTest, PendingCountExcludesCancelled) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, PendingCountExcludesCancelled) {
   const auto a = s.ScheduleAfter(1, [] {});
   s.ScheduleAfter(2, [] {});
   EXPECT_EQ(s.PendingCount(), 2u);
@@ -152,10 +151,9 @@ TEST(SchedulerTest, PendingCountExcludesCancelled) {
   EXPECT_EQ(s.PendingCount(), 1u);
 }
 
-TEST(SchedulerTest, RunOneSkipsCancelledHead) {
-  // The cancelled entry sits at the top of the heap; RunOne must discard
-  // it and execute the next live event in the same call.
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunOneSkipsCancelledHead) {
+  // The cancelled entry sits at the front of the queue; RunOne must
+  // discard it and execute the next live event in the same call.
   int ran = 0;
   const auto head = s.ScheduleAt(5, [&] { ran = 1; });
   s.ScheduleAt(10, [&] { ran = 2; });
@@ -165,19 +163,17 @@ TEST(SchedulerTest, RunOneSkipsCancelledHead) {
   EXPECT_EQ(s.Now(), 10u);
 }
 
-TEST(SchedulerTest, RunUntilPastDrainedQueueReturnsZero) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, RunUntilPastDrainedQueueReturnsZero) {
   s.ScheduleAt(10, [] {});
   EXPECT_EQ(s.RunUntil(50), 1u);
   EXPECT_EQ(s.RunUntil(200), 0u);  // nothing left: just advance the clock
   EXPECT_EQ(s.Now(), 200u);
 }
 
-TEST(SchedulerTest, StaleIdOfRecycledSlotIsNotCancellable) {
+TEST_P(SchedulerBackendTest, StaleIdOfRecycledSlotIsNotCancellable) {
   // After an event runs, its storage slot is recycled for the next
   // schedule. The old TaskId must stay dead: cancelling it may not
   // return true and — critically — may not kill the slot's new tenant.
-  Scheduler s;
   const auto old_id = s.ScheduleAfter(1, [] {});
   s.RunAll();
   bool ran = false;
@@ -188,10 +184,9 @@ TEST(SchedulerTest, StaleIdOfRecycledSlotIsNotCancellable) {
   EXPECT_TRUE(ran);
 }
 
-TEST(SchedulerTest, CancelReleasesCapturedStateImmediately) {
+TEST_P(SchedulerBackendTest, CancelReleasesCapturedStateImmediately) {
   // Cancel destroys the captured state right away (matching the old
-  // map-erase semantics) even though the heap entry is reclaimed lazily.
-  Scheduler s;
+  // map-erase semantics) even though the queue entry is reclaimed lazily.
   auto token = std::make_shared<int>(7);
   std::weak_ptr<int> watch = token;
   const auto id = s.ScheduleAfter(10, [t = std::move(token)] { (void)*t; });
@@ -200,10 +195,9 @@ TEST(SchedulerTest, CancelReleasesCapturedStateImmediately) {
   EXPECT_TRUE(watch.expired());
 }
 
-TEST(SchedulerTest, LargeCallablesFallBackToHeap) {
+TEST_P(SchedulerBackendTest, LargeCallablesFallBackToHeap) {
   // Captures beyond TaskFn's inline buffer take the heap path; behavior
   // must be identical.
-  Scheduler s;
   std::array<uint64_t, 32> payload{};  // 256 bytes > inline capacity
   payload[0] = 11;
   payload[31] = 22;
@@ -213,8 +207,7 @@ TEST(SchedulerTest, LargeCallablesFallBackToHeap) {
   EXPECT_EQ(sum, 33u);
 }
 
-TEST(SchedulerTest, MoveOnlyCallablesAreSupported) {
-  Scheduler s;
+TEST_P(SchedulerBackendTest, MoveOnlyCallablesAreSupported) {
   auto box = std::make_unique<int>(41);
   int seen = 0;
   s.ScheduleAfter(1, [b = std::move(box), &seen] { seen = *b + 1; });
@@ -222,10 +215,9 @@ TEST(SchedulerTest, MoveOnlyCallablesAreSupported) {
   EXPECT_EQ(seen, 42);
 }
 
-TEST(SchedulerTest, RandomizedOrderMatchesReferenceSort) {
+TEST_P(SchedulerBackendTest, RandomizedOrderMatchesReferenceSort) {
   // Adversarial mix of times, FIFO ties and cancellations: execution
   // order must equal a stable sort of the surviving events by time.
-  Scheduler s;
   std::mt19937_64 rng(12345);
   struct Ref {
     Micros when;
@@ -250,6 +242,142 @@ TEST(SchedulerTest, RandomizedOrderMatchesReferenceSort) {
   ASSERT_EQ(ran.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(ran[i], expected[i].tag) << "position " << i;
+  }
+}
+
+TEST_P(SchedulerBackendTest, FarFutureTimesRunInOrder) {
+  // Timestamps beyond the wheel's 2^36us top window (overflow territory)
+  // interleaved with near ones.
+  std::vector<int> order;
+  s.ScheduleAt(Micros{1} << 40, [&] { order.push_back(4); });
+  s.ScheduleAt(100, [&] { order.push_back(1); });
+  s.ScheduleAt((Micros{1} << 40) + 1, [&] { order.push_back(5); });
+  s.ScheduleAt(Micros{1} << 37, [&] { order.push_back(3); });
+  s.ScheduleAt(Micros{1} << 20, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.Now(), (Micros{1} << 40) + 1);
+}
+
+TEST_P(SchedulerBackendTest, InsertEarlierThanPendingHeadBetweenRuns) {
+  // RunUntil stops the clock short of the earliest pending event (which
+  // the wheel has already staged); a later insert lands *before* it. The
+  // wheel must rewind its anchor; both backends must run 600 before 1000.
+  std::vector<Micros> fired;
+  s.ScheduleAt(1000, [&] { fired.push_back(s.Now()); });
+  EXPECT_EQ(s.RunUntil(500), 0u);
+  EXPECT_EQ(s.Now(), 500u);
+  s.ScheduleAt(600, [&] { fired.push_back(s.Now()); });
+  s.RunAll();
+  EXPECT_EQ(fired, (std::vector<Micros>{600, 1000}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SchedulerBackendTest,
+    ::testing::Values(SchedulerBackend::kHeap, SchedulerBackend::kTimerWheel),
+    [](const ::testing::TestParamInfo<SchedulerBackend>& info) {
+      return info.param == SchedulerBackend::kHeap ? "Heap" : "TimerWheel";
+    });
+
+// ---------------------------------------------------------------------------
+// Heap-vs-wheel identity: the same scripted scenario must produce the exact
+// same (tag, time) execution sequence under both backends. This is the
+// strongest statement of the wheel's correctness — bit-identical order, not
+// just sortedness — and what lets the determinism goldens hold under either.
+// ---------------------------------------------------------------------------
+
+using Firing = std::pair<int, Micros>;
+
+// Static mix: dense ties, multi-level spreads, overflow times, cancels.
+std::vector<Firing> RunStaticMix(SchedulerBackend backend, uint64_t seed) {
+  Scheduler s;
+  s.SetBackend(backend);
+  std::mt19937_64 rng(seed);
+  std::vector<Firing> fired;
+  std::vector<Scheduler::TaskId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    Micros when;
+    switch (rng() % 4) {
+      case 0:
+        when = rng() % 64;  // one wheel window: FIFO ties
+        break;
+      case 1:
+        when = rng() % 200000;  // spans wheel levels 0-2
+        break;
+      case 2:
+        when = rng() % (Micros{1} << 30);  // levels 3-5
+        break;
+      default:
+        when = (Micros{1} << 36) + rng() % (Micros{1} << 37);  // overflow
+        break;
+    }
+    ids.push_back(s.ScheduleAt(when, [&fired, i, &s] {
+      fired.push_back({i, s.Now()});
+    }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 5) s.Cancel(ids[i]);
+  s.RunAll();
+  return fired;
+}
+
+TEST(SchedulerWheelIdentityTest, StaticMixMatchesHeap) {
+  for (uint64_t seed : {1u, 7u, 99u}) {
+    const auto heap = RunStaticMix(SchedulerBackend::kHeap, seed);
+    const auto wheel = RunStaticMix(SchedulerBackend::kTimerWheel, seed);
+    ASSERT_EQ(heap.size(), wheel.size()) << "seed " << seed;
+    for (size_t i = 0; i < heap.size(); ++i) {
+      ASSERT_EQ(heap[i], wheel[i]) << "seed " << seed << " position " << i;
+    }
+  }
+}
+
+// Dynamic mix: events schedule further events (cascade + same-time append
+// paths), interleaved with RunUntil slices and between-slice inserts that
+// can land earlier than the staged head (rewind path).
+std::vector<Firing> RunDynamicMix(SchedulerBackend backend, uint64_t seed) {
+  Scheduler s;
+  s.SetBackend(backend);
+  std::mt19937_64 rng(seed);
+  std::vector<Firing> fired;
+  int next_tag = 0;
+  std::function<void(int, int)> spawn = [&](int tag, int depth) {
+    fired.push_back({tag, s.Now()});
+    if (depth <= 0) return;
+    const int kids = 1 + static_cast<int>(rng() % 2);
+    for (int k = 0; k < kids; ++k) {
+      const Micros gap = rng() % (Micros{1} << (6 + rng() % 15));
+      const int child = next_tag++;
+      s.ScheduleAfter(gap, [&spawn, child, depth] { spawn(child, depth - 1); });
+    }
+  };
+  for (int i = 0; i < 200; ++i) {
+    const int root = next_tag++;
+    s.ScheduleAt(rng() % 100000,
+                 [&spawn, root] { spawn(root, 3); });
+  }
+  // Advance in slices; occasionally insert an event earlier than anything
+  // pending fired so far (relative to the stopped clock).
+  Micros until = 0;
+  while (!s.Empty()) {
+    until += 1 + rng() % 50000;
+    s.RunUntil(until);
+    if (rng() % 3 == 0) {
+      const int tag = next_tag++;
+      const Micros when = s.Now() + rng() % 200;
+      s.ScheduleAt(when, [&fired, tag, &s] { fired.push_back({tag, s.Now()}); });
+    }
+  }
+  return fired;
+}
+
+TEST(SchedulerWheelIdentityTest, DynamicMixMatchesHeap) {
+  for (uint64_t seed : {3u, 2024u}) {
+    const auto heap = RunDynamicMix(SchedulerBackend::kHeap, seed);
+    const auto wheel = RunDynamicMix(SchedulerBackend::kTimerWheel, seed);
+    ASSERT_EQ(heap.size(), wheel.size()) << "seed " << seed;
+    for (size_t i = 0; i < heap.size(); ++i) {
+      ASSERT_EQ(heap[i], wheel[i]) << "seed " << seed << " position " << i;
+    }
   }
 }
 

@@ -3,7 +3,8 @@
 //   chaos_run [--seeds N] [--first-seed S] [--protocols ec,3pc,2pc]
 //             [--intensity light|default|heavy] [--nodes N]
 //             [--clients N] [--horizon-us N] [--retries N] [--coalesce]
-//             [--dump-dir DIR] [--trace-dir DIR] [--shrink]
+//             [--scheduler heap|wheel] [--dump-dir DIR] [--trace-dir DIR]
+//             [--shrink]
 //   chaos_run --plan FILE [--shrink] [--trace-dir DIR] [--protocols ec]
 //
 // Campaign mode runs N seeds per protocol and prints one table row per
@@ -92,7 +93,8 @@ int Usage(const char* argv0) {
                "usage: %s [--seeds N] [--first-seed S] [--protocols csv]\n"
                "          [--intensity light|default|heavy] [--nodes N]\n"
                "          [--clients N] [--horizon-us N] [--retries N]\n"
-               "          [--coalesce] [--dump-dir DIR] [--trace-dir DIR]\n"
+               "          [--coalesce] [--scheduler heap|wheel]\n"
+               "          [--dump-dir DIR] [--trace-dir DIR]\n"
                "          [--shrink]\n"
                "       %s --plan FILE [--shrink] [--trace-dir DIR]\n",
                argv0, argv0);
@@ -144,6 +146,17 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(next("--retries"), nullptr, 10));
     } else if (arg == "--coalesce") {
       cfg.coalesce_transport = true;
+    } else if (arg == "--scheduler") {
+      const std::string backend = next("--scheduler");
+      if (backend == "heap") {
+        cfg.scheduler_backend = SchedulerBackend::kHeap;
+      } else if (backend == "wheel") {
+        cfg.scheduler_backend = SchedulerBackend::kTimerWheel;
+      } else {
+        std::fprintf(stderr, "unknown scheduler backend '%s'\n",
+                     backend.c_str());
+        return 2;
+      }
     } else if (arg == "--plan") {
       plan_path = next("--plan");
     } else if (arg == "--dump-dir") {

@@ -1,0 +1,201 @@
+// scale_smoke: budgeted large-cluster commit rounds for CI.
+//
+//   scale_smoke [--nodes N] [--participants K] [--rounds R]
+//               [--protocol ec|3pc|2pc] [--scheduler heap|wheel]
+//               [--max-rss-mb MB] [--max-seconds S]
+//
+// Builds an N-node ProtocolTestbed (the discrete-event simulator: real
+// scheduler, real SimNetwork, real CommitEngines) and drives R full commit
+// rounds, each spanning a K-participant window that rotates across the
+// cluster so successive rounds touch different links. Prints one summary
+// line and enforces two budgets:
+//
+//   --max-rss-mb    peak RSS (getrusage ru_maxrss) — the scale axis's
+//                   memory acceptance: node/link state must be O(active),
+//                   not O(N^2).
+//   --max-seconds   wall-clock budget for the whole run.
+//
+// Exit code 0 iff every round committed everywhere and both budgets held.
+// CI runs this at N=1024 (full-span rounds) and N=10000 (K=512 windows);
+// see .github/workflows/ci.yml.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "commit/testbed.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace ecdb;
+using ecdb::testbed::ProtocolTestbed;
+
+double PeakRssMb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes N] [--participants K] [--rounds R]\n"
+               "          [--protocol ec|3pc|2pc] [--scheduler heap|wheel]\n"
+               "          [--max-rss-mb MB] [--max-seconds S]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t nodes = 10'000;
+  uint32_t participants = 512;
+  uint32_t rounds = 3;
+  CommitProtocol protocol = CommitProtocol::kEasyCommit;
+  SchedulerBackend backend = SchedulerBackend::kTimerWheel;
+  double max_rss_mb = 0;    // 0 = unenforced
+  double max_seconds = 0;   // 0 = unenforced
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      nodes = static_cast<uint32_t>(std::strtoul(next("--nodes"), nullptr, 10));
+    } else if (arg == "--participants") {
+      participants = static_cast<uint32_t>(
+          std::strtoul(next("--participants"), nullptr, 10));
+    } else if (arg == "--rounds") {
+      rounds =
+          static_cast<uint32_t>(std::strtoul(next("--rounds"), nullptr, 10));
+    } else if (arg == "--protocol") {
+      const std::string name = next("--protocol");
+      if (name == "ec") {
+        protocol = CommitProtocol::kEasyCommit;
+      } else if (name == "3pc") {
+        protocol = CommitProtocol::kThreePhase;
+      } else if (name == "2pc") {
+        protocol = CommitProtocol::kTwoPhase;
+      } else {
+        std::fprintf(stderr, "unknown protocol '%s'\n", name.c_str());
+        return 2;
+      }
+    } else if (arg == "--scheduler") {
+      const std::string name = next("--scheduler");
+      if (name == "heap") {
+        backend = SchedulerBackend::kHeap;
+      } else if (name == "wheel") {
+        backend = SchedulerBackend::kTimerWheel;
+      } else {
+        std::fprintf(stderr, "unknown scheduler backend '%s'\n", name.c_str());
+        return 2;
+      }
+    } else if (arg == "--max-rss-mb") {
+      max_rss_mb = std::strtod(next("--max-rss-mb"), nullptr);
+    } else if (arg == "--max-seconds") {
+      max_seconds = std::strtod(next("--max-seconds"), nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (nodes < 2 || participants < 2 || rounds == 0) {
+    std::fprintf(stderr, "need --nodes >= 2, --participants >= 2, "
+                         "--rounds >= 1\n");
+    return 2;
+  }
+  if (participants > nodes) participants = nodes;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  NetworkConfig net;
+  net.base_latency_us = 1;
+  net.jitter_us = 0;
+  CommitEngineConfig commit;
+  ProtocolTestbed bed(protocol, nodes, net, commit, /*seed=*/7, backend);
+  bed.network().EnableCoalescing(true);
+
+  // A K-participant EC round is ~K^2 decision messages; give Settle
+  // comfortable headroom on top of that.
+  const size_t event_budget =
+      64ULL * participants * participants * rounds + 1'000'000ULL;
+
+  uint64_t total_events = 0;
+  bool all_applied = true;
+  for (uint32_t r = 0; r < rounds; ++r) {
+    // Rotate the participant window so each round exercises fresh links —
+    // the access pattern the O(active-link) network state is built for.
+    const NodeId base_id = static_cast<NodeId>(
+        (static_cast<uint64_t>(r) * participants) % nodes);
+    const NodeId coord = base_id;
+    const TxnId txn = MakeTxnId(coord, r + 1);
+    CowVector<NodeId> members;
+    {
+      std::vector<NodeId>& m = members.Mutable();
+      m.reserve(participants);
+      for (uint32_t k = 0; k < participants; ++k) {
+        m.push_back(static_cast<NodeId>((base_id + k) % nodes));
+      }
+    }
+    for (uint32_t k = 1; k < participants; ++k) {
+      const NodeId id = static_cast<NodeId>((base_id + k) % nodes);
+      bed.host(id).engine().ExpectPrepare(txn, coord, members);
+    }
+    bed.host(coord).engine().StartCommit(txn, members, Decision::kCommit);
+    total_events += bed.Settle(event_budget);
+    for (uint32_t k = 0; k < participants; ++k) {
+      const NodeId id = static_cast<NodeId>((base_id + k) % nodes);
+      const auto decision = bed.host(id).applied(txn);
+      if (!decision.has_value() || *decision != Decision::kCommit) {
+        std::fprintf(stderr, "round %u: node %u did not apply commit\n", r,
+                     id);
+        all_applied = false;
+      }
+    }
+  }
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const double rss_mb = PeakRssMb();
+  std::printf(
+      "scale_smoke: nodes=%u participants=%u rounds=%u protocol=%s "
+      "scheduler=%s events=%llu seconds=%.2f maxrss_mb=%.1f\n",
+      nodes, participants, rounds, ToString(protocol).c_str(),
+      backend == SchedulerBackend::kTimerWheel ? "wheel" : "heap",
+      static_cast<unsigned long long>(total_events), seconds, rss_mb);
+
+  int rc = 0;
+  if (!all_applied) {
+    std::fprintf(stderr, "FAIL: at least one participant missed a commit\n");
+    rc = 1;
+  }
+  if (max_rss_mb > 0 && rss_mb > max_rss_mb) {
+    std::fprintf(stderr, "FAIL: peak RSS %.1f MB exceeds budget %.1f MB\n",
+                 rss_mb, max_rss_mb);
+    rc = 1;
+  }
+  if (max_seconds > 0 && seconds > max_seconds) {
+    std::fprintf(stderr, "FAIL: wall time %.2f s exceeds budget %.2f s\n",
+                 seconds, max_seconds);
+    rc = 1;
+  }
+  return rc;
+}
